@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table of the paper's evaluation has a `test_*` target here
+that (a) regenerates the numbers through the machine models and prints
+them next to the paper's values, and (b) asserts the *shape* — who wins,
+roughly by how much — rather than absolute times (see DESIGN.md).
+Wall-clock micro-benchmarks of the real generated code run under
+pytest-benchmark in test_wallclock.py.
+"""
+
+import sys
+
+import pytest
+
+
+def print_table(title: str, rows) -> None:
+    out = [f"\n===== {title} ====="]
+    if isinstance(rows, dict):
+        for k, v in rows.items():
+            out.append(f"  {str(k):24s} {v}")
+    else:
+        out.append(str(rows))
+    print("\n".join(out), file=sys.stderr)

@@ -1,0 +1,102 @@
+"""Figure 1: normalized sgemm times on CPU (left) and GPU (right).
+
+Paper shape: Tiramisu close to the vendor library (MKL / cuBLAS); the
+automatic polyhedral compilers trail by roughly half an order to an
+order of magnitude, Polly worst on CPU.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.evaluation.fig1 import figure1_cpu, figure1_gpu
+from repro.kernels.linalg import build_sgemm, schedule_sgemm_cpu
+from repro.linalg_lib import sgemm as mkl_sgemm
+
+PAPER_CPU = {"Intel MKL": 1.0, "LLVM-Polly": 20.0, "AlphaZ": 8.0,
+             "Pluto": 5.0, "Tiramisu": 1.1}
+PAPER_GPU = {"cuBLAS": 1.0, "PENCIL": 2.0, "TC": 4.0, "Tiramisu": 1.2}
+
+
+@pytest.fixture(scope="module")
+def cpu_series():
+    return figure1_cpu()
+
+
+@pytest.fixture(scope="module")
+def gpu_series():
+    return figure1_gpu()
+
+
+class TestFig1Cpu:
+    def test_print(self, cpu_series):
+        print_table("Figure 1 (left): sgemm CPU, normalized to MKL "
+                    f"(paper: {PAPER_CPU})",
+                    {k: round(v, 2) for k, v in cpu_series.items()})
+
+    def test_tiramisu_closest_to_mkl(self, cpu_series):
+        others = [v for k, v in cpu_series.items()
+                  if k not in ("Intel MKL", "Tiramisu")]
+        assert cpu_series["Tiramisu"] < min(others)
+
+    def test_tiramisu_within_small_factor_of_mkl(self, cpu_series):
+        assert cpu_series["Tiramisu"] < 4.0
+
+    def test_automatic_compilers_trail(self, cpu_series):
+        assert cpu_series["Pluto"] > 2.0
+        assert cpu_series["AlphaZ"] > cpu_series["Pluto"]
+        assert cpu_series["LLVM-Polly"] > cpu_series["AlphaZ"]
+
+
+class TestFig1Gpu:
+    def test_print(self, gpu_series):
+        print_table("Figure 1 (right): sgemm GPU, normalized to cuBLAS "
+                    f"(paper: {PAPER_GPU})",
+                    {k: round(v, 2) for k, v in gpu_series.items()})
+
+    def test_tiramisu_closest_to_cublas(self, gpu_series):
+        others = [v for k, v in gpu_series.items()
+                  if k not in ("cuBLAS", "Tiramisu")]
+        assert gpu_series["Tiramisu"] < min(others)
+
+    def test_shared_memory_matters(self, gpu_series):
+        # PENCIL (no shared staging) is the slowest.
+        assert gpu_series["PENCIL"] > gpu_series["TC"]
+
+
+class TestSgemmWallclock:
+    """Real execution of the generated sgemm vs the BLAS stand-in."""
+
+    N = 48
+
+    def test_scheduled_kernel_correct_and_benchmarked(self, benchmark):
+        bundle = build_sgemm()
+        schedule_sgemm_cpu(bundle, 16, 8)
+        kernel = bundle.function.compile("cpu")
+        rng = np.random.default_rng(0)
+        n = self.N
+        a = rng.random((n, n)).astype(np.float32)
+        b = rng.random((n, n)).astype(np.float32)
+        c0 = rng.random((n, n)).astype(np.float32)
+
+        def run():
+            c = c0.copy()
+            kernel(A=a, B=b, C=c, N=n, M=n, K=n)
+            return c
+
+        got = benchmark(run)
+        ref = 1.5 * (a @ b) + 0.5 * c0
+        assert np.allclose(got, ref, atol=1e-3)
+
+    def test_mkl_standin_benchmarked(self, benchmark):
+        rng = np.random.default_rng(0)
+        n = self.N
+        a = rng.random((n, n)).astype(np.float32)
+        b = rng.random((n, n)).astype(np.float32)
+        c0 = rng.random((n, n)).astype(np.float32)
+
+        def run():
+            return mkl_sgemm(1.5, a, b, 0.5, c0.copy())
+
+        got = benchmark(run)
+        assert np.allclose(got, 1.5 * (a @ b) + 0.5 * c0, atol=1e-3)

@@ -1,0 +1,107 @@
+"""Figure 5: deep learning / linear / tensor algebra vs MKL and
+reference implementations (CPU).
+
+Paper shape: Tiramisu matches MKL on sgemm and the reference on HPCG,
+and beats MKL on Conv (fixed filter specialization) and VGG (2.3x, loop
+fusion) and the Baryon reference (vectorization).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.evaluation.fig5 import (baryon_vs_reference, conv_vs_mkl,
+                                   figure5, hpcg_vs_reference,
+                                   sgemm_vs_mkl, vgg_vs_mkl)
+from repro.kernels import (build_baryon, build_conv, build_spmv27,
+                           build_vgg_block, schedule_baryon_cpu,
+                           schedule_conv_cpu, schedule_spmv_cpu,
+                           schedule_vgg_fused)
+
+PAPER = {"Conv": 1.8, "VGG": 2.3, "Sgemm": 1.0, "HPCG": 1.05,
+         "Baryon": 3.7}
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure5()
+
+
+class TestFig5Shape:
+    def test_print(self, series):
+        print_table(f"Figure 5: reference/Tiramisu ratios (paper: {PAPER})",
+                    {k: round(v, 2) for k, v in series.items()})
+
+    def test_conv_beats_mkl(self, series):
+        """Fixed-filter-size specialization beats the generic library."""
+        assert series["Conv"] > 1.3
+
+    def test_vgg_beats_mkl_via_fusion(self, series):
+        assert series["VGG"] > 1.5
+
+    def test_vgg_gain_exceeds_conv_gain(self, series):
+        """Fusion adds on top of specialization (2.3x vs ~1.8x)."""
+        assert series["VGG"] > series["Conv"]
+
+    def test_hpcg_matches_reference(self, series):
+        assert 0.7 < series["HPCG"] < 1.5
+
+    def test_baryon_vectorization_win(self, series):
+        assert series["Baryon"] > 2.0
+
+    def test_sgemm_same_order_as_mkl(self, series):
+        # Paper: matches MKL; our model lands within a small factor
+        # (see EXPERIMENTS.md calibration notes).
+        assert 0.2 < series["Sgemm"] < 2.0
+
+
+class TestFig5Wallclock:
+    """Real execution at reduced sizes: scheduled vs naive kernels."""
+
+    def test_conv_scheduled(self, benchmark):
+        bundle = build_conv()
+        schedule_conv_cpu(bundle)
+        params = {"B": 2, "F": 4, "N": 18, "M": 18}
+        kernel = bundle.function.compile("cpu")
+        rng = np.random.default_rng(1)
+        inputs = bundle.make_inputs(params, rng)
+        ref = bundle.reference({k: v.copy() for k, v in inputs.items()},
+                               params)
+        out = benchmark(lambda: kernel(**inputs, **params))
+        assert np.allclose(out["out"], ref["out"], atol=1e-3)
+
+    def test_vgg_fused(self, benchmark):
+        bundle = build_vgg_block()
+        schedule_vgg_fused(bundle)
+        params = {"B": 2, "F": 3, "N": 14, "M": 14}
+        kernel = bundle.function.compile("cpu")
+        rng = np.random.default_rng(1)
+        inputs = bundle.make_inputs(params, rng)
+        ref = bundle.reference({k: v.copy() for k, v in inputs.items()},
+                               params)
+        out = benchmark(lambda: kernel(**inputs, **params))
+        assert np.allclose(out["out"], ref["out"], atol=1e-3)
+
+    def test_baryon_vectorized(self, benchmark):
+        bundle = build_baryon()
+        schedule_baryon_cpu(bundle)
+        params = {"T": 16}
+        kernel = bundle.function.compile("cpu")
+        rng = np.random.default_rng(1)
+        inputs = bundle.make_inputs(params, rng)
+        ref = bundle.reference({k: v.copy() for k, v in inputs.items()},
+                               params)
+        out = benchmark(lambda: kernel(**inputs, **params))
+        assert np.allclose(out["bar"], ref["bar"], atol=1e-2)
+
+    def test_spmv_vectorized(self, benchmark):
+        bundle = build_spmv27()
+        schedule_spmv_cpu(bundle)
+        params = {"G": 8}
+        kernel = bundle.function.compile("cpu")
+        rng = np.random.default_rng(1)
+        inputs = bundle.make_inputs(params, rng)
+        ref = bundle.reference({k: v.copy() for k, v in inputs.items()},
+                               params)
+        out = benchmark(lambda: kernel(**inputs, **params))
+        assert np.allclose(out["Ax"], ref["Ax"], atol=1e-3)

@@ -1,0 +1,74 @@
+"""Figure 7: strong scaling of distributed Tiramisu on 2-16 nodes.
+
+Paper shape: near-linear speedup (relative to 2 nodes) for all image
+benchmarks as nodes double; communication-free kernels scale best.
+
+Also exercises the *functional* distributed backend: a real multi-rank
+halo-exchange run whose simulated communication volume feeds the network
+model (the bench target for the Fig. 3(c) code path).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.evaluation.fig6 import HALO_ROWS
+from repro.evaluation.fig7 import figure7, render_figure7
+from repro.machine.network import halo_exchange_time
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return figure7()
+
+
+class TestFig7Shape:
+    def test_print(self, scaling):
+        print_table("Figure 7: speedup over 2 nodes (paper: near-linear, "
+                    "up to ~7-8x at 16 nodes)", render_figure7(scaling))
+
+    def test_speedup_monotonic(self, scaling):
+        for bench, by_nodes in scaling.items():
+            values = [by_nodes[n] for n in sorted(by_nodes)]
+            assert values == sorted(values), bench
+
+    def test_communication_free_scale_linearly(self, scaling):
+        for bench in ("cvtColor", "nb"):
+            assert scaling[bench][16] > 7.5
+
+    def test_stencils_scale_well(self, scaling):
+        for bench in ("conv2D", "gaussian", "edgeDetector"):
+            assert scaling[bench][16] > 6.0
+
+    def test_communication_costs_show(self, scaling):
+        """Halo-exchange kernels scale slightly below the comm-free ones."""
+        assert scaling["warpAffine"][16] <= scaling["cvtColor"][16]
+
+
+class TestFunctionalDistributedRun:
+    def test_halo_exchange_volume_feeds_model(self, benchmark):
+        """Run the real simulated-MPI stencil and price its recorded
+        messages with the network model."""
+        from tests.core.test_distributed_backend import build_halo_stencil
+        f = build_halo_stencil()
+        k = f.compile("distributed")
+        rows, ranks = 64, 4
+        full = np.arange(ranks * rows, dtype=np.float64)
+        inputs = {"lin": [
+            np.concatenate([full[q * rows:(q + 1) * rows], [0.0]])
+            for q in range(ranks)]}
+
+        def run():
+            return k(ranks=ranks, inputs=inputs,
+                     params={"R": rows, "Nodes": ranks})
+
+        benchmark(run)
+        stats = k.last_stats
+        assert stats.message_count() == ranks - 1
+        est = halo_exchange_time(ranks, halo_elems_per_pair=1,
+                                 elem_bytes=8)
+        assert est.seconds > 0
+        print_table("functional halo exchange",
+                    {"messages": stats.message_count(),
+                     "elements": stats.total_elements(),
+                     "modeled seconds": est.seconds})

@@ -1,0 +1,150 @@
+"""Table I: the framework feature matrix, with every Tiramisu "Yes"
+backed by an executable probe through the public API.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro import Computation, Function, Input, Param, Var
+from repro.core.deps import compute_dependences
+from repro.core.errors import IllegalScheduleError
+from repro.features import FEATURES, TABLE_I, render_table_i
+from repro.halide_mini import Func, HVar, HalideError, ImageParam, Pipeline
+
+
+class TestRender:
+    def test_print_table(self):
+        print_table("Table I", render_table_i())
+
+    def test_all_frameworks_cover_all_features(self):
+        for fw, rows in TABLE_I.items():
+            assert set(rows) == set(FEATURES), fw
+
+
+class TestTiramisuColumnProbes:
+    """One probe per row of the Tiramisu column."""
+
+    def test_cpu_codegen(self):
+        with Function("f") as f:
+            Computation("c", [Var("i", 0, 4)], 1.0)
+        assert (f.compile("cpu")()["c"] == 1).all()
+
+    def test_gpu_codegen(self):
+        with Function("f") as f:
+            c = Computation("c", [Var("i", 0, 32), Var("j", 0, 32)], 1.0)
+        c.tile_gpu("i", "j", 8, 8)
+        assert (f.compile("gpu")()["c"] == 1).all()
+
+    def test_distributed_cpu_codegen(self):
+        Nodes = Param("Nodes")
+        with Function("f", params=[Nodes]) as f:
+            c = Computation("c", [Var("q", 0, Nodes), Var("i", 0, 4)], 1.0)
+        c.distribute("q")
+        res = f.compile("distributed")(ranks=2, inputs={},
+                                       params={"Nodes": 2})
+        assert (res[0]["c"][0] == 1).all()
+
+    def test_distributed_gpu_codegen(self):
+        """Distributed + GPU tags compose (the row no other framework
+        has)."""
+        Nodes = Param("Nodes")
+        with Function("f", params=[Nodes]) as f:
+            c = Computation("c", [Var("q", 0, Nodes), Var("i", 0, 16),
+                                  Var("j", 0, 16)], 1.0)
+        c.distribute("q")
+        c.tile_gpu("i", "j", 8, 8)
+        res = f.compile("distributed")(ranks=2, inputs={},
+                                       params={"Nodes": 2})
+        assert (res[1]["c"][1] == 1).all()
+
+    def test_affine_transformations_incl_skewing(self):
+        with Function("f") as f:
+            i, j = Var("i", 1, 8), Var("j", 1, 8)
+            from repro import Buffer
+            buf = Buffer("g", [9, 9])
+            c = Computation("c", [i, j], None)
+            c.set_expression(c(i - 1, j) + c(i, j - 1))
+            c.store_in(buf, [i, j])
+        c.skew("i", "j", 1)   # not expressible in Halide
+        f.check_legality()
+
+    def test_loop_and_data_commands(self):
+        with Function("f") as f:
+            c = Computation("c", [Var("i", 0, 16), Var("j", 0, 16)], 1.0)
+        c.tile("i", "j", 4, 4).unroll("i1", 4).vectorize("j1", 4)
+        c.store_in([Var("j", 0, 16), Var("i", 0, 16)])  # transposed layout
+        out = f.compile("cpu")()
+        assert (next(iter(out.values())) == 1).all()
+
+    def test_communication_commands(self):
+        from repro import send, receive
+        assert callable(send) and callable(receive)
+
+    def test_memory_hierarchy_commands(self):
+        from repro import Buffer
+        b = Buffer("b", [4])
+        b.tag_gpu_shared()
+        from repro.core.buffer import MemSpace
+        assert b.mem_space == MemSpace.GPU_SHARED
+
+    def test_cyclic_dataflow(self):
+        from repro.kernels import build_edge_detector
+        assert build_edge_detector().verify()
+
+    def test_non_rectangular_iteration_spaces(self):
+        from repro.kernels import build_ticket2373
+        assert build_ticket2373().verify()
+
+    def test_exact_dependence_analysis(self):
+        with Function("f") as f:
+            iw, i = Var("iw", 0, 8), Var("i", 1, 8)
+            a = Computation("a", [iw], 1.0)
+            b = Computation("b", [i], None)
+            b.set_expression(a(i - 1))
+        deps = [d for d in compute_dependences(f) if d.kind == "flow"]
+        assert deps[0].relation.contains_point([3], [4])
+        assert not deps[0].relation.contains_point([4], [4])
+
+    def test_compile_time_emptiness_check(self):
+        from repro.isl import parse_set
+        assert parse_set("{ [i] : 0 <= i < 10 and i > 20 }").is_empty()
+
+    def test_parametric_tiling_unsupported(self):
+        """The single 'No' of the Tiramisu column: tile sizes must be
+        integer literals."""
+        with Function("f", params=[Param("T")]) as f:
+            c = Computation("c", [Var("i", 0, 32), Var("j", 0, 32)], 1.0)
+        with pytest.raises(Exception):
+            c.tile("i", "j", Param("T"), Param("T"))
+
+
+class TestHalideColumnProbes:
+    """The three restrictions mini-Halide reproduces executably."""
+
+    def test_no_cyclic_dataflow(self):
+        x = HVar("x")
+        a, b = Func("a"), Func("b")
+        a.define([x], b(x) + 1)
+        b.define([x], a(x) + 1)
+        with pytest.raises(HalideError):
+            Pipeline([b])
+
+    def test_no_exact_dependence_analysis(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        c1 = Func("c1").define([x], img(x) * 2)
+        c2 = Func("c2").define([x], c1(x - 1))
+        with pytest.raises(HalideError):
+            c2.compute_with(c1)   # legal fusion, conservatively refused
+
+    def test_interval_bounds_over_approximate(self):
+        from repro.halide_mini import BoundsAssertion
+        from repro.ir import select
+        x, r = HVar("x"), HVar("r")
+        inp = ImageParam("inp", 1)
+        h = Func("h").define(
+            [x, r], select(x.expr() >= r.expr(), inp(x - r), 0.0))
+        with pytest.raises(BoundsAssertion):
+            Pipeline([h]).realize({"h": (10, 10)},
+                                  {"inp": np.zeros(5, np.float32)})

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Side-by-side: Tiramisu's polyhedral model vs Halide's intervals.
+
+Demonstrates the three Section VI-B cases where the representation
+matters, using the bundled mini-Halide (repro.halide_mini):
+
+1. edgeDetector's cyclic dataflow — Tiramisu runs it, Halide rejects it;
+2. ticket #2373's triangular iteration space — Tiramisu generates exact
+   bounds, Halide's interval inference over-approximates and fails;
+3. legal-but-conservatively-refused fusion (compute_with) — Tiramisu's
+   dependence analysis proves it legal.
+
+Run:  python examples/halide_comparison.py
+"""
+
+import numpy as np
+
+from repro import Computation, Function, Var
+from repro.halide_mini import (BoundsAssertion, Func, HalideError, HVar,
+                               ImageParam, Pipeline)
+from repro.ir import select
+from repro.kernels import build_edge_detector, build_ticket2373
+
+# -- 1. cyclic dataflow -------------------------------------------------------
+
+print("1. edgeDetector (cyclic dataflow)")
+bundle = build_edge_detector()
+assert bundle.verify()
+print("   Tiramisu: runs, matches reference")
+
+x = HVar("x")
+a, b = Func("ring"), Func("img2")
+a.define([x], b(x) + 1)
+b.define([x], a(x) + 1)
+try:
+    Pipeline([b])
+    raise SystemExit("unexpected: Halide accepted a cycle")
+except HalideError as e:
+    print(f"   Halide:   rejected — {e}")
+
+# -- 2. triangular iteration space (ticket #2373) -----------------------------
+
+print("\n2. ticket #2373 (non-rectangular iteration space)")
+bundle = build_ticket2373()
+assert bundle.verify()
+print("   Tiramisu: exact bounds, runs, matches reference")
+
+r = HVar("r")
+inp = ImageParam("inp", 1)
+h = Func("h").define([x, r], select(x.expr() >= r.expr(),
+                                    inp(x - r), 0.0))
+try:
+    Pipeline([h]).realize({"h": (16, 16)},
+                          {"inp": np.zeros(8, np.float32)})
+    raise SystemExit("unexpected: Halide bounds inference succeeded")
+except BoundsAssertion as e:
+    print(f"   Halide:   failed at execution — {e}")
+
+# -- 3. fusion legality --------------------------------------------------------
+
+print("\n3. shifted producer-consumer fusion")
+with Function("fuse") as fn:
+    iw, i = Var("iw", 0, 64), Var("i", 1, 64)
+    prod = Computation("prod", [iw], 1.0 * iw)
+    cons = Computation("cons", [i], None)
+    cons.set_expression(prod(i - 1) * 2.0)
+cons.after(prod, "iw")        # fuse at the shared loop
+fn.check_legality()           # dependence analysis proves it legal
+out = fn.compile("cpu")()["cons"]
+assert np.allclose(out[1:], np.arange(63) * 2.0)
+print("   Tiramisu: fused (dependence analysis proves legality), correct")
+
+img = ImageParam("img", 1)
+c1 = Func("c1").define([x], img(x) * 1.0)
+c2 = Func("c2").define([x], c1(x - 1) * 2.0)
+try:
+    c2.compute_with(c1)
+    raise SystemExit("unexpected: Halide fused")
+except HalideError as e:
+    print(f"   Halide:   refused — {e}")
+
+print("\nOK: all three representation gaps reproduced")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run:  python examples/paper_figures.py        (takes a few minutes)
+"""
+
+from repro.evaluation.fig1 import figure1_cpu, figure1_gpu
+from repro.evaluation.fig5 import figure5
+from repro.evaluation.fig6 import render_figure6
+from repro.evaluation.fig7 import render_figure7
+from repro.features import render_table_i
+
+
+def bars(series, scale=4):
+    for name, value in series.items():
+        bar = "#" * max(1, min(60, int(value * scale)))
+        print(f"  {name:14s} {value:8.2f}  {bar}")
+
+
+print("=" * 70)
+print("Table I: framework feature comparison")
+print("=" * 70)
+print(render_table_i())
+
+print("\n" + "=" * 70)
+print("Figure 1 (left): sgemm CPU, normalized to Intel MKL")
+print("paper: MKL 1, Tiramisu ~1.1, Pluto ~5, AlphaZ ~8, Polly ~20")
+print("=" * 70)
+bars(figure1_cpu())
+
+print("\n" + "=" * 70)
+print("Figure 1 (right): sgemm GPU, normalized to cuBLAS")
+print("paper: cuBLAS 1, Tiramisu ~1.2, TC ~4, PENCIL ~2")
+print("=" * 70)
+bars(figure1_gpu())
+
+print("\n" + "=" * 70)
+print("Figure 5: Conv/VGG/sgemm/HPCG/Baryon — reference time / Tiramisu")
+print("paper: Conv ~1.8, VGG 2.3, Sgemm ~1.0, HPCG ~1.05, Baryon ~3.7")
+print("=" * 70)
+bars(figure5(), scale=10)
+
+print("\n" + "=" * 70)
+print("Figure 6: heatmap (normalized to Tiramisu; '-' = unsupported)")
+print("=" * 70)
+print(render_figure6())
+
+print("=" * 70)
+print("Figure 7: distributed strong scaling (speedup over 2 nodes)")
+print("=" * 70)
+print(render_figure7())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example (Figures 2 and 3a).
+
+Builds the two-stage blur as a pure algorithm, applies the multicore
+schedule from Figure 3(a) — tiling, parallelization, and compute_at
+(overlapped tiling) — compiles it, runs it, and checks the result
+against NumPy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Computation, Function, Input, Param, Var
+
+# -- Layer I: the pure algorithm (paper Figure 2) ---------------------------
+
+N, M = Param("N"), Param("M")
+
+with Function("blur", params=[N, M]) as blur:
+    # Input image (RGB).
+    img = Input("img", [Var("x", 0, N), Var("y", 0, M), Var("z", 0, 3)])
+
+    # bx: horizontal blur; by: vertical blur of bx.
+    iw, jw, cw = Var("iw", 0, N - 2), Var("jw", 0, M - 2), Var("cw", 0, 3)
+    i, j, c = Var("i", 0, N - 4), Var("j", 0, M - 2), Var("c", 0, 3)
+
+    bx = Computation("bx", [iw, jw, cw], None)
+    bx.set_expression((img(iw, jw, cw) + img(iw, jw + 1, cw)
+                       + img(iw, jw + 2, cw)) / 3)
+
+    by = Computation("by", [i, j, c], None)
+    by.set_expression((bx(i, j, c) + bx(i + 1, j, c)
+                       + bx(i + 2, j, c)) / 3)
+
+# -- the schedule (paper Figure 3a) -----------------------------------------
+
+by.tile("i", "j", 32, 32, "i0", "j0", "i1", "j1")
+by.parallelize("i0")
+bx.compute_at(by, "j0")     # overlapped tiling: bx tiles with halo
+
+# Dependence analysis proves this schedule legal (Section II-c).
+blur.check_legality()
+
+# -- compile and run ----------------------------------------------------------
+
+kernel = blur.compile("cpu")
+print("generated code:\n")
+print(kernel.source)
+
+n, m = 128, 96
+rng = np.random.default_rng(0)
+image = rng.random((n, m, 3)).astype(np.float32)
+out = kernel(img=image, N=n, M=m)["by"]
+
+bx_ref = (image[:n-2, :m-2] + image[:n-2, 1:m-1] + image[:n-2, 2:m]) / 3
+by_ref = (bx_ref[:n-4] + bx_ref[1:n-3] + bx_ref[2:n-2]) / 3
+assert np.allclose(out, by_ref, atol=1e-5)
+print(f"OK: blur({n}x{m}) matches the NumPy reference "
+      f"(max err {abs(out - by_ref).max():.2e})")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""sgemm with the paper's full optimization set (Section VI-A).
+
+Applies two-level blocking, vectorization, unrolling, array packing and
+parallelization; verifies against NumPy BLAS; then reproduces Figure 1
+(left): normalized times for MKL / Polly / AlphaZ / Pluto / Tiramisu on
+the modeled 2x24-core Xeon node.
+
+Run:  python examples/sgemm_tuned.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.evaluation.fig1 import autotune_sgemm, figure1_cpu
+from repro.kernels.linalg import build_sgemm, schedule_sgemm_cpu
+from repro.linalg_lib import sgemm as mkl_sgemm
+
+# -- correctness at a real (small) size --------------------------------------
+
+bundle = build_sgemm()
+schedule_sgemm_cpu(bundle, 16, 8)
+kernel = bundle.function.compile("cpu")
+
+n = 64
+rng = np.random.default_rng(0)
+a = rng.random((n, n)).astype(np.float32)
+b = rng.random((n, n)).astype(np.float32)
+c0 = rng.random((n, n)).astype(np.float32)
+
+c = c0.copy()
+t0 = time.perf_counter()
+kernel(A=a, B=b, C=c, N=n, M=n, K=n)
+t_kernel = time.perf_counter() - t0
+
+ref = mkl_sgemm(1.5, a, b, 0.5, c0.copy())
+assert np.allclose(c, ref, atol=1e-3)
+print(f"OK: scheduled sgemm({n}) matches BLAS "
+      f"(generated-Python time {t_kernel*1e3:.1f} ms)")
+
+# -- Figure 1 (left) at the paper's 1060^3 size -------------------------------
+
+t1, t2 = autotune_sgemm()
+print(f"\nauto-tuned tile sizes: outer {t1}, register block {t2}")
+print("\nFigure 1 (left) — normalized sgemm time on the modeled CPU")
+print("(paper: MKL 1.0, Tiramisu ~1.1, Pluto ~5, AlphaZ ~8, Polly ~20)\n")
+for name, value in figure1_cpu().items():
+    bar = "#" * max(1, min(60, int(value * 4)))
+    print(f"  {name:12s} {value:8.2f}  {bar}")

@@ -1,0 +1,37 @@
+"""repro: a pure-Python reproduction of the Tiramisu polyhedral compiler.
+
+Paper: Baghdadi et al., "Tiramisu: A Polyhedral Compiler for Expressing
+Fast and Portable Code", CGO 2019.
+
+Public API quickstart::
+
+    from repro import Function, Var, Param, Input, Computation
+
+    N, M = Param("N"), Param("M")
+    with Function("blur", params=[N, M]) as f:
+        i, j, c = Var("i", 0, N - 2), Var("j", 0, M - 2), Var("c", 0, 3)
+        inp = Input("inp", [Var("x", 0, N), Var("y", 0, M), Var("z", 0, 3)])
+        bx = Computation("bx", [i, j, c],
+                         (inp(i, j, c) + inp(i, j + 1, c) + inp(i, j + 2, c)) / 3)
+        by = Computation("by", [i, j, c],
+                         (bx(i, j, c) + bx(i + 1, j, c) + bx(i + 2, j, c)) / 3)
+    by.tile("i", "j", 32, 32)
+    by.parallelize("i0")
+    kernel = f.compile("cpu")
+"""
+
+from repro.core import (ASYNC, SYNC, ArgKind, Buffer, Computation,
+                        ConstantScalar, Function, Input, Operation, Param,
+                        Var, allocate_at, barrier_at, copy_at, receive, send)
+from repro.ir import (cast, clamp, maximum, minimum, select)
+from repro.ir import types
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASYNC", "SYNC", "allocate_at", "barrier_at", "copy_at", "receive",
+    "send",
+    "ArgKind", "Buffer", "Computation", "ConstantScalar", "Function",
+    "Input", "Operation", "Param", "Var", "cast", "clamp", "maximum",
+    "minimum", "select", "types", "__version__",
+]

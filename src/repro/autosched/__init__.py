@@ -1,0 +1,5 @@
+"""Pluto-style fully automatic scheduling (PENCIL/Pluto/Polly stand-in)."""
+
+from .pluto import AutoScheduleReport, pluto_schedule
+
+__all__ = ["AutoScheduleReport", "pluto_schedule"]

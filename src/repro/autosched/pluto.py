@@ -1,0 +1,115 @@
+"""A Pluto-style automatic scheduler (the PENCIL / Pluto / Polly
+comparator of the paper — DESIGN.md substitution table).
+
+The heuristic mirrors what Section II-a describes: "the Pluto automatic
+scheduling algorithm tries to minimize the distance between producer and
+consumer statements while maximizing outermost parallelism, but it does
+not consider data layout, redundant computations, or the complexity of
+the control of the generated code".  Concretely:
+
+1. **Fusion-first**: for each producer-consumer pair, fuse at the
+   deepest loop level that dependence analysis proves legal (minimizing
+   reuse distance) — even when that requires permuting loops, and even
+   when the permutation destroys spatial locality (the paper's gaussian
+   anecdote).
+2. **Tiling**: tile the two outermost dimensions of every nest.
+3. **Outermost parallelism**: parallelize the outermost loop not
+   carrying a dependence.
+4. **Never**: vectorization, unrolling, array packing, register
+   blocking, or full/partial-tile separation — the optimizations the
+   paper lists as missing from fully automatic compilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.computation import Computation, Input, Operation
+from repro.core.deps import carried_at_level, check_schedule_legality
+from repro.core.errors import IllegalScheduleError, ScheduleError
+from repro.ir.expr import accesses_in
+
+
+@dataclass
+class AutoScheduleReport:
+    fused: List[Tuple[str, str, int]] = field(default_factory=list)
+    tiled: List[str] = field(default_factory=list)
+    parallelized: List[Tuple[str, int]] = field(default_factory=list)
+    interchanged: List[str] = field(default_factory=list)
+
+
+def _schedulable(fn) -> List[Computation]:
+    return [c for c in fn.active_computations()
+            if not isinstance(c, (Input, Operation)) and c.expr is not None]
+
+
+def _producer_pairs(fn) -> List[Tuple[Computation, Computation]]:
+    comps = _schedulable(fn)
+    pairs = []
+    for cons in comps:
+        for acc in accesses_in(cons.expr):
+            prod = acc.computation
+            if prod in comps and prod is not cons \
+                    and (prod, cons) not in pairs:
+                pairs.append((prod, cons))
+    return pairs
+
+
+def _try_fuse(fn, prod: Computation, cons: Computation,
+              report: AutoScheduleReport,
+              allow_interchange: bool = True) -> bool:
+    """Fuse consumer after producer at the deepest legal shared level."""
+    max_level = min(len(prod.time_names), len(cons.time_names)) - 1
+    for level in range(max_level, -1, -1):
+        mark = len(fn.order_directives)
+        fn.order_after(cons, prod, level)
+        try:
+            check_schedule_legality(fn)
+            report.fused.append((prod.name, cons.name, level))
+            return True
+        except IllegalScheduleError:
+            del fn.order_directives[mark:]
+            fn._beta = None
+    if allow_interchange and len(cons.time_names) >= 2:
+        # Pluto willingly permutes loops to enable fusion (minimizing
+        # reuse distance), ignoring the spatial-locality cost — the
+        # suboptimal gaussian decision of Section VI-B.
+        cons.interchange(cons.time_names[0], cons.time_names[1])
+        report.interchanged.append(cons.name)
+        if _try_fuse(fn, prod, cons, report, allow_interchange=False):
+            return True
+        cons.interchange(cons.time_names[0], cons.time_names[1])
+        report.interchanged.pop()
+    return False
+
+
+def pluto_schedule(fn, tile_size: int = 32,
+                   fuse: bool = True) -> AutoScheduleReport:
+    """Apply the automatic schedule to ``fn`` in place."""
+    report = AutoScheduleReport()
+    if fuse:
+        for prod, cons in _producer_pairs(fn):
+            _try_fuse(fn, prod, cons, report)
+    for comp in _schedulable(fn):
+        if len(comp.time_names) >= 2:
+            l0, l1 = comp.time_names[0], comp.time_names[1]
+            try:
+                comp.tile(l0, l1, tile_size, tile_size)
+                report.tiled.append(comp.name)
+            except ScheduleError:
+                pass
+    for comp in _schedulable(fn):
+        for level in range(min(2, len(comp.time_names))):
+            if not carried_at_level(fn, comp, level):
+                comp.parallelize(comp.time_names[level])
+                report.parallelized.append((comp.name, level))
+                break
+    try:
+        check_schedule_legality(fn)
+    except IllegalScheduleError:
+        # Tiling/parallelization after fusion should be legal; if not,
+        # report it loudly — the auto-scheduler must never emit wrong
+        # code.
+        raise
+    return report

@@ -1,0 +1,1 @@
+"""Execution backends: CPU (NumPy), GPU simulator, distributed simulator."""

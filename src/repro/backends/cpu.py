@@ -1,0 +1,160 @@
+"""The multicore CPU backend: Layer IV -> Python/NumPy source -> kernel.
+
+This plays the role of the paper's LLVM backend (reached through Halide
+lowering in the original system): the polyhedral AST is emitted as
+executable code.  Loops tagged ``vector`` become NumPy array arithmetic;
+loops tagged ``parallel`` are annotated (execution is sequential — the
+timing effect of parallelism is captured by
+:mod:`repro.machine.cpu_model`, as documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.codegen.pyemit import _PRELUDE, Emitter, _buf_var
+from repro.core.buffer import ArgKind, Buffer
+from repro.core.computation import Input, Operation
+from repro.core.errors import ExecutionError
+from repro.core.function import Function
+
+from .evalexpr import eval_const_expr
+
+
+def infer_argument_kinds(fn: Function) -> None:
+    """Mark buffers: inputs keep INPUT; computations nobody consumes
+    become OUTPUT arguments (named after the computation)."""
+    from repro.ir.expr import accesses_in
+    consumed = set()
+    consumed_buffers = set()
+    for c in fn.computations:
+        if isinstance(c, Operation):
+            src = c.payload.get("src")
+            if src is not None:
+                consumed_buffers.add(id(src))
+            continue
+        if c.expr is None:
+            continue
+        for acc in accesses_in(c.expr):
+            producer = acc.computation
+            if producer is c:
+                continue
+            if producer.get_buffer() is c.get_buffer():
+                # Same-buffer access (reduction clones, separated
+                # partial tiles): not a real consumption.
+                continue
+            consumed.add(producer.name)
+    for c in fn.active_computations():
+        if isinstance(c, (Input, Operation)):
+            continue
+        buf = c.get_buffer()
+        if c.name not in consumed and id(buf) not in consumed_buffers \
+                and buf.kind == ArgKind.TEMPORARY:
+            buf.kind = ArgKind.OUTPUT
+            if buf.name == f"_{c.name}_b":
+                buf.name = c.name
+
+
+def collect_buffers(fn: Function) -> List[Buffer]:
+    seen: Dict[int, Buffer] = {}
+    order: List[Buffer] = []
+    for c in fn.computations:
+        if isinstance(c, Operation):
+            for key in ("buffer", "src", "dst"):
+                b = c.payload.get(key)
+                if isinstance(b, Buffer) and id(b) not in seen:
+                    seen[id(b)] = b
+                    order.append(b)
+            continue
+        if c.inlined:
+            continue
+        candidates = [c.get_buffer()]
+        for shared, *_ in c.cached_reads.values():
+            candidates.append(shared)
+        if c.cached_store is not None:
+            candidates.append(c.cached_store[0])
+        for b in candidates:
+            if id(b) not in seen:
+                seen[id(b)] = b
+                order.append(b)
+    return order
+
+
+class CompiledKernel:
+    """A callable compiled Tiramisu function."""
+
+    def __init__(self, fn: Function, source: str, pyfunc, buffers,
+                 param_names):
+        self.fn = fn
+        self.source = source
+        self._pyfunc = pyfunc
+        self.buffers = buffers
+        self.param_names = list(param_names)
+
+    def argument_names(self) -> List[str]:
+        return [b.name for b in self.buffers
+                if b.kind != ArgKind.TEMPORARY] + self.param_names
+
+    def __call__(self, _runtime=None, **kwargs):
+        params = {}
+        for p in self.param_names:
+            if p not in kwargs:
+                raise ExecutionError(f"missing parameter {p!r}")
+            params[p] = int(kwargs.pop(p))
+        arrays: Dict[str, np.ndarray] = {}
+        outputs: Dict[str, np.ndarray] = {}
+        for buf in self.buffers:
+            if buf.kind == ArgKind.INPUT:
+                if buf.name not in kwargs:
+                    raise ExecutionError(f"missing input buffer {buf.name!r}")
+                arrays[buf.name] = np.asarray(kwargs.pop(buf.name))
+            elif buf.kind == ArgKind.INOUT:
+                if buf.name not in kwargs:
+                    raise ExecutionError(f"missing inout buffer {buf.name!r}")
+                arrays[buf.name] = np.asarray(kwargs.pop(buf.name))
+                outputs[buf.name] = arrays[buf.name]
+            elif buf.kind == ArgKind.OUTPUT:
+                arr = kwargs.pop(buf.name, None)
+                if arr is None:
+                    arr = buf.allocate(params)
+                arrays[buf.name] = arr
+                outputs[buf.name] = arr
+            else:
+                arrays[buf.name] = buf.allocate(params)
+        if kwargs:
+            raise ExecutionError(f"unknown arguments: {sorted(kwargs)}")
+        self._pyfunc(arrays, params, _runtime)
+        return outputs
+
+
+def emit_source(fn: Function, emitter_cls=Emitter) -> str:
+    infer_argument_kinds(fn)
+    ast = fn.lower()
+    emitter = emitter_cls(fn, fn.param_names)
+    emitter.line(f"def _kernel(_bufs, _params, _runtime=None):")
+    emitter.indent += 1
+    for p in fn.param_names:
+        emitter.line(f"{p} = _params[{p!r}]")
+    for buf in collect_buffers(fn):
+        emitter.line(f"{_buf_var(buf)} = _bufs[{buf.name!r}]")
+    emitter.emit_block(ast)
+    emitter.indent -= 1
+    return _PRELUDE + "\n" + emitter.buf.getvalue()
+
+
+def compile_cpu(fn: Function, check_legality: bool = False,
+                verbose: bool = False) -> CompiledKernel:
+    """Compile a function for the (multicore) CPU target."""
+    if check_legality:
+        fn.check_legality()
+    source = emit_source(fn)
+    if verbose:
+        print(source)
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<tiramisu:{fn.name}>", "exec")
+    exec(code, namespace)
+    return CompiledKernel(fn, source, namespace["_kernel"],
+                          collect_buffers(fn), fn.param_names)

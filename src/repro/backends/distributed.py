@@ -1,0 +1,210 @@
+"""The distributed backend: an MPI simulator (DESIGN.md substitution).
+
+The paper's distributed code generation turns each ``distributed`` loop
+into a conditional on the executing process's rank::
+
+    for(q in 1..N-1) {...}   becomes   q = get_rank(); if (q>=1 && q<N-1) {...}
+
+and translates send()/receive() operations into MPI calls.  This backend
+reproduces exactly that: every rank runs the same generated program in
+its own thread with its own buffers; sends/receives go through in-memory
+channels with blocking-receive semantics (MVAPICH2's role in the paper).
+Message volumes and counts are recorded per rank pair so the network
+model (:mod:`repro.machine.network`) can price communication.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codegen.pyemit import Emitter, _buf_var, lin_to_py
+from repro.core.buffer import ArgKind
+from repro.core.errors import CodegenError, ExecutionError
+from repro.core.function import Function
+
+from .cpu import collect_buffers, emit_source, infer_argument_kinds
+
+
+@dataclass
+class CommStats:
+    """Per-run communication record (consumed by the network model)."""
+
+    messages: List[Tuple[int, int, int]] = field(default_factory=list)
+    # (src, dst, elements)
+
+    def total_elements(self) -> int:
+        return sum(m[2] for m in self.messages)
+
+    def message_count(self) -> int:
+        return len(self.messages)
+
+
+class MPIRuntime:
+    """The per-rank communication endpoint handed to generated code."""
+
+    def __init__(self, rank: int, world: "World"):
+        self.rank = rank
+        self.world = world
+
+    def send(self, dest: int, data: np.ndarray, sync: bool = False) -> None:
+        dest = int(dest)
+        if not 0 <= dest < self.world.size:
+            raise ExecutionError(f"send to invalid rank {dest}")
+        with self.world.lock:
+            self.world.stats.messages.append((self.rank, dest, data.size))
+        self.world.channel(self.rank, dest).put(np.array(data, copy=True))
+
+    def recv(self, source: int, timeout: float = 30.0) -> np.ndarray:
+        source = int(source)
+        try:
+            return self.world.channel(source, self.rank).get(timeout=timeout)
+        except queue.Empty:
+            raise ExecutionError(
+                f"rank {self.rank}: receive from {source} timed out "
+                "(mismatched send/receive schedule?)") from None
+
+    def barrier(self) -> None:
+        self.world.barrier.wait()
+
+    def op(self, kind: str, name: str, env: dict) -> None:
+        raise ExecutionError(f"unhandled operation {kind} ({name})")
+
+
+class World:
+    def __init__(self, size: int):
+        self.size = size
+        self.channels: Dict[Tuple[int, int], queue.Queue] = {}
+        self.lock = threading.Lock()
+        self.stats = CommStats()
+        self.barrier = threading.Barrier(size)
+
+    def channel(self, src: int, dst: int) -> queue.Queue:
+        with self.lock:
+            key = (src, dst)
+            if key not in self.channels:
+                self.channels[key] = queue.Queue()
+            return self.channels[key]
+
+
+class DistEmitter(Emitter):
+    """Emitter variant implementing the paper's rank-conditional loops
+    and MPI-call translation."""
+
+    def emit_loop(self, loop) -> None:
+        if loop.tag is not None and loop.tag.kind == "distributed":
+            from .cpu import ArgKind  # local import to avoid cycles
+            from repro.codegen.pyemit import bounds_group_py
+            lo = bounds_group_py(loop.lowers, self.params, True)
+            hi = bounds_group_py(loop.uppers, self.params, False)
+            var = f"t{loop.level}"
+            self.line(f"{var} = _runtime.rank  # distributed loop "
+                      f"({loop.var})")
+            self.line(f"if {var} >= {lo} and {var} <= ({hi}):")
+            self.indent += 1
+            self.emit_block(loop.body)
+            self.indent -= 1
+            return
+        super().emit_loop(loop)
+
+    def emit_operation(self, op, env) -> None:
+        kind = op.op_kind
+        if kind == "send":
+            buf = op.payload["buffer"]
+            off = self.expr_py(op.payload["offset"], env, False)
+            size = self.expr_py(op.payload["size"], env, False)
+            peer = self.expr_py(op.payload["peer"], env, False)
+            sync = "sync" in op.payload["props"]
+            self.line(f"_runtime.send({peer}, "
+                      f"{_buf_var(buf)}.reshape(-1)[{off}:({off}) + {size}],"
+                      f" sync={sync})")
+        elif kind == "recv":
+            buf = op.payload["buffer"]
+            off = self.expr_py(op.payload["offset"], env, False)
+            size = self.expr_py(op.payload["size"], env, False)
+            peer = self.expr_py(op.payload["peer"], env, False)
+            self.line(f"{_buf_var(buf)}.reshape(-1)[{off}:({off}) + {size}]"
+                      f" = _runtime.recv({peer})")
+        elif kind == "barrier":
+            self.line("_runtime.barrier()")
+        else:
+            super().emit_operation(op, env)
+
+
+class DistributedKernel:
+    """A compiled distributed function: runs one thread per rank."""
+
+    def __init__(self, fn: Function, source: str, pyfunc, buffers,
+                 param_names):
+        self.fn = fn
+        self.source = source
+        self._pyfunc = pyfunc
+        self.buffers = buffers
+        self.param_names = list(param_names)
+        self.last_stats: Optional[CommStats] = None
+
+    def __call__(self, ranks: int, inputs, params: Dict[str, int],
+                 ) -> List[Dict[str, np.ndarray]]:
+        """Run on ``ranks`` simulated nodes.
+
+        ``inputs``: dict name -> list (one array per rank), or a callable
+        ``rank -> dict``.  Returns one output dict per rank.
+        """
+        world = World(ranks)
+        results: List[Optional[Dict[str, np.ndarray]]] = [None] * ranks
+        errors: List[Optional[BaseException]] = [None] * ranks
+
+        def run_rank(rank: int) -> None:
+            try:
+                rank_inputs = (inputs(rank) if callable(inputs)
+                               else {k: v[rank] for k, v in inputs.items()})
+                arrays: Dict[str, np.ndarray] = {}
+                outputs: Dict[str, np.ndarray] = {}
+                for buf in self.buffers:
+                    if buf.kind in (ArgKind.INPUT, ArgKind.INOUT):
+                        if buf.name not in rank_inputs:
+                            raise ExecutionError(
+                                f"rank {rank}: missing input {buf.name!r}")
+                        arrays[buf.name] = np.asarray(rank_inputs[buf.name])
+                        if buf.kind == ArgKind.INOUT:
+                            outputs[buf.name] = arrays[buf.name]
+                    else:
+                        arrays[buf.name] = buf.allocate(params)
+                        if buf.kind == ArgKind.OUTPUT:
+                            outputs[buf.name] = arrays[buf.name]
+                runtime = MPIRuntime(rank, world)
+                self._pyfunc(arrays, dict(params), runtime)
+                results[rank] = outputs
+            except BaseException as exc:   # surfaced after join
+                errors[rank] = exc
+
+        threads = [threading.Thread(target=run_rank, args=(r,),
+                                    name=f"rank{r}", daemon=True)
+                   for r in range(ranks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        for rank, err in enumerate(errors):
+            if err is not None:
+                raise ExecutionError(f"rank {rank} failed: {err}") from err
+        self.last_stats = world.stats
+        return results   # type: ignore[return-value]
+
+
+def compile_distributed(fn: Function, check_legality: bool = False,
+                        verbose: bool = False) -> DistributedKernel:
+    """Compile for the simulated distributed-memory target."""
+    if check_legality:
+        fn.check_legality()
+    source = emit_source(fn, emitter_cls=DistEmitter)
+    if verbose:
+        print(source)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, f"<tiramisu-dist:{fn.name}>", "exec"), namespace)
+    return DistributedKernel(fn, source, namespace["_kernel"],
+                             collect_buffers(fn), fn.param_names)

@@ -1,0 +1,42 @@
+"""Evaluation of parameter-closed scalar expressions (buffer sizes etc.)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import ExecutionError
+from repro.ir.expr import BinOp, Call, Const, Expr, ParamRef, UnOp
+
+
+def eval_const_expr(expr: Expr, params: Mapping[str, int]):
+    """Evaluate an expression over constants and parameters."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ParamRef):
+        try:
+            return params[expr.name]
+        except KeyError:
+            raise ExecutionError(
+                f"missing value for parameter {expr.name!r}") from None
+    if isinstance(expr, UnOp) and expr.op == "-":
+        return -eval_const_expr(expr.operand, params)
+    if isinstance(expr, BinOp):
+        lhs = eval_const_expr(expr.lhs, params)
+        rhs = eval_const_expr(expr.rhs, params)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+            "//": lambda a, b: a // b,
+            "%": lambda a, b: a % b,
+        }
+        if expr.op in ops:
+            return ops[expr.op](lhs, rhs)
+    if isinstance(expr, Call):
+        args = [eval_const_expr(a, params) for a in expr.args]
+        if expr.fn == "min":
+            return min(args)
+        if expr.fn == "max":
+            return max(args)
+    raise ExecutionError(f"cannot evaluate {expr!r} at compile time")

@@ -1,0 +1,7 @@
+"""Polyhedral code generation: loop synthesis and Python emission."""
+
+from .ast import Block, Loop, Stmt, loops_in, stmts_in, walk
+from .isl_to_ast import generate_ast
+
+__all__ = ["Block", "Loop", "Stmt", "loops_in", "stmts_in", "walk",
+           "generate_ast"]

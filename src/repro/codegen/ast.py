@@ -1,0 +1,72 @@
+"""The backend-independent AST produced from Layer IV (paper Section V-A).
+
+The AST is a tree of loops, guards, and statement instances; loop bounds
+are symbolic (max-of-affine lower bounds, min-of-affine upper bounds over
+outer loop variables and parameters), exactly what the Cloog-style
+generation algorithm produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isl import Constraint, LinExpr
+
+# A bound is (coeff, LinExpr): coeff * t >= expr  /  coeff * t <= expr.
+Bound = Tuple[int, LinExpr]
+
+
+@dataclass
+class Node:
+    pass
+
+
+@dataclass
+class Block(Node):
+    children: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Loop(Node):
+    """A loop over dynamic dim ``level``.
+
+    Bounds are lists of bound groups (one group per distinct statement
+    domain sharing the loop): the loop lower bound is
+    ``min over groups ( max over (a, e) of ceil(e / a) )`` and the upper
+    bound is ``max over groups ( min over (b, f) of floor(f / b) )``.
+    With a single group (the common case) this degenerates to the usual
+    max-of-lower-bounds / min-of-upper-bounds.
+    """
+
+    level: int                       # dynamic dim index (loop var = t{level})
+    var: str                         # display name of the loop variable
+    lowers: List[List[Bound]]
+    uppers: List[List[Bound]]
+    body: Block
+    tag: Optional[object] = None     # schedule.Tag or None
+    comps: Tuple[str, ...] = ()      # names of computations inside
+
+
+@dataclass
+class Stmt(Node):
+    comp: object                     # the Computation
+    guards: List[Constraint] = field(default_factory=list)
+    depth: int = 0                   # number of enclosing dynamic dims
+
+
+def walk(node: Node):
+    yield node
+    if isinstance(node, Block):
+        for child in node.children:
+            yield from walk(child)
+    elif isinstance(node, Loop):
+        yield from walk(node.body)
+
+
+def loops_in(node: Node) -> List[Loop]:
+    return [n for n in walk(node) if isinstance(n, Loop)]
+
+
+def stmts_in(node: Node) -> List[Stmt]:
+    return [n for n in walk(node) if isinstance(n, Stmt)]

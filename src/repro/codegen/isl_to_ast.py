@@ -1,0 +1,187 @@
+"""Loop synthesis: from scheduled instance sets to an AST.
+
+This is the reproduction of the paper's code generation step (Section
+V-A): "generating nested loops that visit each computation in the set,
+once and only once, while following the lexicographical ordering between
+the computations".  The algorithm is a simplified
+Quilleré-Rajopadhye-Wilde scheme: statements are grouped by their static
+(β) ordering dimensions; shared dynamic dimensions become loops whose
+bounds are the union of the statements' bounds (computed by
+Fourier-Motzkin projection), with per-statement guards restoring
+exactness when the statements' domains differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CodegenError
+from repro.isl import BasicSet, Constraint, LinExpr
+from repro.isl.fourier_motzkin import (bounds_on_dim, eliminate_dims,
+                                       rational_feasible)
+from repro.isl.linexpr import OUT
+
+from .ast import Block, Bound, Loop, Stmt
+from .domains import prepare_pieces
+
+
+@dataclass
+class _Item:
+    comp: object
+    piece: BasicSet
+    beta: List[int]
+    # FM-projected constraint systems: systems[k] involves dims < k only.
+    systems: List[List[Constraint]] = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.comp.time_names)
+
+    def project(self) -> None:
+        n = self.depth
+        systems: List[List[Constraint]] = [None] * (n + 1)
+        current = list(self.piece.constraints)
+        systems[n] = current
+        for k in range(n - 1, -1, -1):
+            current = eliminate_dims(current, [(OUT, k)])
+            systems[k] = current
+        self.systems = systems
+
+
+def generate_ast(fn) -> Block:
+    """Generate the loop AST for a function's current schedule."""
+    comps = [c for c in fn.active_computations() if _generates_code(c)]
+    if not comps:
+        raise CodegenError(f"function {fn.name} has nothing to compute")
+    beta = fn.resolve_order()
+    items: List[_Item] = []
+    for c in comps:
+        for piece in prepare_pieces(c.instances):
+            item = _Item(c, piece, beta[c.name])
+            item.project()
+            items.append(item)
+    return _gen_block(items, 0, [])
+
+
+def _generates_code(comp) -> bool:
+    from repro.core.computation import Input, Operation
+    if isinstance(comp, Operation):
+        return True
+    if isinstance(comp, Input):
+        return False
+    return comp.expr is not None
+
+
+def _gen_block(items: List[_Item], level: int,
+               context: List[Constraint]) -> Block:
+    block = Block()
+    groups: Dict[int, List[_Item]] = {}
+    for item in items:
+        groups.setdefault(item.beta[level] if level < len(item.beta) else 0,
+                          []).append(item)
+    for key in sorted(groups):
+        group = groups[key]
+        leaves = [it for it in group if it.depth <= level]
+        inner = [it for it in group if it.depth > level]
+        for leaf in leaves:
+            block.children.append(_make_stmt(leaf, context))
+        if inner:
+            block.children.append(_make_loop(inner, level, context))
+    return block
+
+
+def _make_stmt(item: _Item, context: List[Constraint]) -> Stmt:
+    guards = [c for c in item.piece.constraints
+              if not _implied_by(context, c)]
+    return Stmt(comp=item.comp, guards=guards, depth=item.depth)
+
+
+def _implied_by(context: List[Constraint], c: Constraint) -> bool:
+    from repro.isl.simplify import _implied
+    return _implied(context, c)
+
+
+def _make_loop(group: List[_Item], level: int,
+               context: List[Constraint]) -> Loop:
+    lowers_groups: List[List[Bound]] = []
+    uppers_groups: List[List[Bound]] = []
+    for item in group:
+        lo, up = bounds_on_dim(item.systems[level + 1], (OUT, level))
+        if not lo or not up:
+            raise CodegenError(
+                f"{item.comp.name}: loop level {level} "
+                f"({item.comp.time_names[level]}) is unbounded")
+        lo = _prune_bounds(_dedup(lo), context, (OUT, level), True)
+        up = _prune_bounds(_dedup(up), context, (OUT, level), False)
+        lowers_groups.append(lo)
+        uppers_groups.append(up)
+    # Deduplicate identical bound groups across statements.
+    lowers_groups = _dedup_groups(lowers_groups)
+    uppers_groups = _dedup_groups(uppers_groups)
+    new_context = list(context)
+    exact_bounds = len(lowers_groups) == 1 and len(uppers_groups) == 1
+    if exact_bounds:
+        for a, e in lowers_groups[0]:
+            new_context.append(
+                Constraint.ge(LinExpr.dim(OUT, level, a) - e))
+        for b, f in uppers_groups[0]:
+            new_context.append(
+                Constraint.ge(f - LinExpr.dim(OUT, level, b)))
+    tag = None
+    for item in group:
+        t = item.comp.tags.get(level)
+        if t is not None:
+            if tag is not None and tag != t:
+                raise CodegenError(
+                    f"conflicting tags {tag} vs {t} on fused loop "
+                    f"level {level}")
+            tag = t
+    body = _gen_block(group, level + 1, new_context)
+    var = group[0].comp.time_names[level]
+    return Loop(level=level, var=var,
+                lowers=lowers_groups, uppers=uppers_groups,
+                body=body, tag=tag,
+                comps=tuple(it.comp.name for it in group))
+
+
+def _prune_bounds(bounds: List[Bound], context: List[Constraint],
+                  dim, is_lower: bool) -> List[Bound]:
+    """Drop bounds implied by the outer-loop context plus the remaining
+    bounds (e.g. the redundant `i1 >= -t*i0` that tiling projection
+    produces next to `i1 >= 0`)."""
+    from repro.isl.simplify import _implied
+    if len(bounds) <= 1:
+        return bounds
+    kept = list(bounds)
+    for bound in list(bounds):
+        if len(kept) == 1:
+            break
+        a, e = bound
+        expr = LinExpr.dim(dim[0], dim[1], a) - e
+        if not is_lower:
+            expr = -expr
+        others = [Constraint.ge(
+            (LinExpr.dim(dim[0], dim[1], b) - f) if is_lower
+            else (f - LinExpr.dim(dim[0], dim[1], b)))
+            for (b, f) in kept if (b, f) != bound]
+        if _implied(context + others, Constraint.ge(expr)):
+            kept.remove(bound)
+    return kept
+
+
+def _dedup(bounds: Sequence[Bound]) -> List[Bound]:
+    seen = []
+    for b in bounds:
+        if b not in seen:
+            seen.append(b)
+    return seen
+
+
+def _dedup_groups(groups: List[List[Bound]]) -> List[List[Bound]]:
+    out: List[List[Bound]] = []
+    for g in groups:
+        canon = sorted(g, key=repr)
+        if not any(canon == sorted(o, key=repr) for o in out):
+            out.append(g)
+    return out

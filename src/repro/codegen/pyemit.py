@@ -1,0 +1,387 @@
+"""Emission of executable Python/NumPy source from the loop AST.
+
+This is the reproduction's stand-in for the paper's LLVM backend: the
+AST from :mod:`repro.codegen.isl_to_ast` is lowered to Python source,
+compiled with :func:`compile`, and wrapped in a callable kernel.
+
+Loop dimensions tagged ``vector`` are lowered to NumPy array arithmetic
+(the loop variable becomes an ``np.arange`` vector and the statement is
+evaluated lane-parallel), provided the statement is safe to vectorize:
+no guards or predicate, the vector variable appears in the statement's
+store indices, and any read of the stored buffer uses exactly the store
+indices (no loop-carried dependence along the vector lanes).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import CodegenError
+from repro.ir.expr import (Access, BinOp, BufferRead, Call, Cast, Const,
+                           Expr, IterVar, ParamRef, Select, UnOp)
+from repro.isl import Constraint, LinExpr
+from repro.isl.constraint import EQ
+from repro.isl.linexpr import OUT, PARAM
+
+from .ast import Block, Loop, Node, Stmt
+
+_PRELUDE = '''\
+import numpy as np
+
+def _cdiv(a, b):
+    return -((-a) // b)
+'''
+
+
+def lin_to_py(le: LinExpr, params: Sequence[str]) -> str:
+    """A LinExpr over time dims/params as a Python expression string."""
+    parts: List[str] = []
+    for (kind, idx), c in le.coeffs.items():
+        c = int(c)
+        if kind == OUT:
+            name = f"t{idx}"
+        elif kind == PARAM:
+            name = params[idx]
+        else:
+            raise CodegenError(f"cannot emit dim ({kind},{idx})")
+        if c == 1:
+            parts.append(name)
+        elif c == -1:
+            parts.append(f"-{name}")
+        else:
+            parts.append(f"{c}*{name}")
+    if int(le.const) or not parts:
+        parts.append(str(int(le.const)))
+    return " + ".join(parts).replace("+ -", "- ")
+
+
+def bound_to_py(bound, params: Sequence[str], is_lower: bool) -> str:
+    a, e = bound
+    es = lin_to_py(e, params)
+    if a == 1:
+        return f"({es})"
+    if is_lower:
+        return f"_cdiv({es}, {a})"
+    return f"(({es}) // {a})"
+
+
+def bounds_group_py(groups, params, is_lower: bool) -> str:
+    combine_in = "max" if is_lower else "min"
+    combine_out = "min" if is_lower else "max"
+    group_strs = []
+    for g in groups:
+        exprs = [bound_to_py(b, params, is_lower) for b in g]
+        group_strs.append(exprs[0] if len(exprs) == 1
+                          else f"{combine_in}({', '.join(exprs)})")
+    if len(group_strs) == 1:
+        return group_strs[0]
+    return f"{combine_out}({', '.join(group_strs)})"
+
+
+def constraint_to_py(c: Constraint, params: Sequence[str]) -> str:
+    es = lin_to_py(c.expr, params)
+    op = "==" if c.kind == EQ else ">="
+    return f"({es}) {op} 0"
+
+
+class Emitter:
+    """Emits one function body; reused by the CPU/GPU/distributed
+    backends with different prologues."""
+
+    def __init__(self, fn, params: Sequence[str]):
+        self.fn = fn
+        self.params = list(params)
+        self.buf = io.StringIO()
+        self.indent = 0
+        self._tmp = 0
+        self.current_comp = None  # statement being emitted (cache lookup)
+
+    # -- low-level writing --------------------------------------------------
+
+    def line(self, text: str = "") -> None:
+        self.buf.write("    " * self.indent + text + "\n")
+
+    def fresh(self, prefix: str = "_v") -> str:
+        self._tmp += 1
+        return f"{prefix}{self._tmp}"
+
+    # -- expression lowering -------------------------------------------------
+
+    def expr_py(self, expr: Expr, env: Dict[str, str],
+                float_div: bool) -> str:
+        if isinstance(expr, Const):
+            return repr(expr.value)
+        if isinstance(expr, IterVar):
+            if expr.name not in env:
+                raise CodegenError(f"unbound iterator {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, ParamRef):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.params:
+                return expr.name
+            raise CodegenError(f"unknown parameter {expr.name!r}")
+        if isinstance(expr, BinOp):
+            lhs = self.expr_py(expr.lhs, env, float_div)
+            rhs = self.expr_py(expr.rhs, env, float_div)
+            op = expr.op
+            if op == "/":
+                op = "/" if float_div else "//"
+            if op in ("and", "or"):
+                return f"(({lhs}) {'&' if op == 'and' else '|'} ({rhs}))" \
+                    if _maybe_vector(env) else f"(({lhs}) {op} ({rhs}))"
+            return f"(({lhs}) {op} ({rhs}))"
+        if isinstance(expr, UnOp):
+            return f"({expr.op}({self.expr_py(expr.operand, env, float_div)}))"
+        if isinstance(expr, Select):
+            c = self.expr_py(expr.cond, env, float_div)
+            t = self.expr_py(expr.if_true, env, float_div)
+            f = self.expr_py(expr.if_false, env, float_div)
+            return f"np.where({c}, {t}, {f})"
+        if isinstance(expr, Cast):
+            v = self.expr_py(expr.operand, env, float_div)
+            return f"np.{expr.dtype.np_dtype}({v})"
+        if isinstance(expr, Call):
+            args = [self.expr_py(a, env, float_div) for a in expr.args]
+            return self._call_py(expr.fn, args)
+        if isinstance(expr, BufferRead):
+            idx = [self.expr_py(e, env, float_div) for e in expr.indices]
+            return f"{_buf_var(expr.buffer)}[{', '.join(idx)}]"
+        if isinstance(expr, Access):
+            return self._access_py(expr, env, float_div)
+        raise CodegenError(f"cannot emit expression {expr!r}")
+
+    def _call_py(self, fn: str, args: List[str]) -> str:
+        table = {
+            "min": "np.minimum", "max": "np.maximum", "abs": "np.abs",
+            "sqrt": "np.sqrt", "exp": "np.exp", "log": "np.log",
+            "floor": "np.floor", "pow": "np.power",
+        }
+        if fn == "clamp":
+            v, lo, hi = args
+            return f"np.clip({v}, {lo}, {hi})"
+        if fn in table:
+            return f"{table[fn]}({', '.join(args)})"
+        raise CodegenError(f"unknown intrinsic {fn!r}")
+
+    def _access_py(self, access: Access, env: Dict[str, str],
+                   float_div: bool) -> str:
+        producer = access.computation
+        idx_strs = [self.expr_py(e, env, float_div) for e in access.indices]
+        env_q = dict(_only_markers(env))
+        env_q.update({nm: s for nm, s in zip(producer.var_names, idx_strs)})
+        if producer.inlined:
+            return "(" + self.expr_py(producer.expr, env_q,
+                                      producer.dtype.is_float) + ")"
+        store = producer.store_indices()
+        out = [self.expr_py(e, env_q, False) for e in store]
+        cached = None
+        if self.current_comp is not None:
+            cached = self.current_comp.cached_reads.get(producer.name)
+        if cached is not None:
+            shared, origins, __ = cached
+            rebased = [f"({o}) - ({lin_to_py(org, self.params)})"
+                       for o, org in zip(out, origins)]
+            return f"{_buf_var(shared)}[{', '.join(rebased)}]"
+        return f"{_buf_var(producer.get_buffer())}[{', '.join(out)}]"
+
+    # -- statement env -------------------------------------------------------
+
+    def stmt_env(self, comp) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        for nm, le in comp.rev.items():
+            env[nm] = f"({lin_to_py(le, self.params)})"
+        return env
+
+    # -- AST walking -----------------------------------------------------------
+
+    def emit_block(self, block: Block) -> None:
+        if not block.children:
+            self.line("pass")
+            return
+        for child in block.children:
+            self.emit_node(child)
+
+    def emit_node(self, node: Node) -> None:
+        if isinstance(node, Loop):
+            self.emit_loop(node)
+        elif isinstance(node, Stmt):
+            self.emit_stmt(node)
+        elif isinstance(node, Block):
+            self.emit_block(node)
+        else:
+            raise CodegenError(f"unknown AST node {node!r}")
+
+    def emit_loop(self, loop: Loop) -> None:
+        lo = bounds_group_py(loop.lowers, self.params, True)
+        hi = bounds_group_py(loop.uppers, self.params, False)
+        var = f"t{loop.level}"
+        if loop.tag is not None and loop.tag.kind == "vector":
+            if self._try_emit_vector(loop, lo, hi):
+                return
+        comment = ""
+        if loop.tag is not None:
+            comment = f"  # {loop.tag.kind} loop ({loop.var})"
+        self.line(f"for {var} in range({lo}, ({hi}) + 1):{comment}")
+        self.indent += 1
+        self.emit_block(loop.body)
+        self.indent -= 1
+
+    # -- vectorization ----------------------------------------------------------
+
+    def _try_emit_vector(self, loop: Loop, lo: str, hi: str) -> bool:
+        stmts = loop.body.children
+        if len(stmts) != 1 or not isinstance(stmts[0], Stmt):
+            return False
+        stmt = stmts[0]
+        comp = stmt.comp
+        self.current_comp = comp
+        if stmt.guards or comp.predicate is not None:
+            return False
+        var = f"t{loop.level}"
+        env = self.stmt_env(comp)
+        env["__vector_var__"] = var
+        try:
+            store_strs = [
+                self.expr_py(e, env, False)
+                for e in comp.store_indices()]
+            # Rewrite with the original var names bound to rev exprs.
+            from repro.ir.fold import fold
+            subst_env = {nm: env[nm] for nm in comp.var_names}
+            subst_env["__vector_var__"] = var
+            rhs = self.expr_py(fold(comp.expr), subst_env,
+                               comp.dtype.is_float)
+        except CodegenError:
+            return False
+        # Safety: vector var must drive the store, and reads of the
+        # stored buffer must use exactly the store indices.
+        store_idx = [self.expr_py(e, subst_env, False)
+                     for e in comp.store_indices()]
+        if not any(var in s for s in store_idx):
+            return False
+        if not self._reads_safe(comp, subst_env, store_idx):
+            return False
+        self.line(f"{var} = np.arange({lo}, ({hi}) + 1)  # vectorized "
+                  f"({loop.var})")
+        target = self._store_target(comp, subst_env)
+        self.line(f"{target} = {rhs}")
+        return True
+
+    def _reads_safe(self, comp, env: Dict[str, str],
+                    store_idx: List[str]) -> bool:
+        from repro.ir.expr import accesses_in
+        target_buf = comp.get_buffer()
+        for acc in accesses_in(comp.expr):
+            producer = acc.computation
+            if producer.inlined:
+                continue
+            if producer.get_buffer() is not target_buf:
+                continue
+            idx_strs = [self.expr_py(e, env, False) for e in acc.indices]
+            env_q = dict(_only_markers(env))
+            env_q.update({nm: s for nm, s in
+                          zip(producer.var_names, idx_strs)})
+            read_idx = [self.expr_py(e, env_q, False)
+                        for e in producer.store_indices()]
+            if read_idx != store_idx:
+                return False
+        return True
+
+    # -- statements ---------------------------------------------------------------
+
+    def emit_stmt(self, stmt: Stmt) -> None:
+        comp = stmt.comp
+        from repro.core.computation import Operation
+        self.current_comp = comp
+        closes = 0
+        for guard in stmt.guards:
+            self.line(f"if {constraint_to_py(guard, self.params)}:")
+            self.indent += 1
+            closes += 1
+        env = self.stmt_env(comp)
+        if comp.predicate is not None:
+            pred = self.expr_py(comp.predicate, env, comp.dtype.is_float)
+            self.line(f"if {pred}:")
+            self.indent += 1
+            closes += 1
+        if isinstance(comp, Operation):
+            self.emit_operation(comp, env)
+        else:
+            from repro.ir.fold import fold
+            rhs = self.expr_py(fold(comp.expr), env, comp.dtype.is_float)
+            target = self._store_target(comp, env)
+            self.line(f"{target} = {rhs}")
+        self.indent -= closes
+
+    def _store_target(self, comp, env: Dict[str, str]) -> str:
+        store_idx = [self.expr_py(e, env, False)
+                     for e in comp.store_indices()]
+        if comp.cached_store is not None:
+            shared, origins = comp.cached_store
+            rebased = [f"({s}) - ({lin_to_py(org, self.params)})"
+                       for s, org in zip(store_idx, origins)]
+            return f"{_buf_var(shared)}[{', '.join(rebased)}]"
+        return f"{_buf_var(comp.get_buffer())}[{', '.join(store_idx)}]"
+
+    def emit_operation(self, op, env: Dict[str, str]) -> None:
+        """Backends override; the CPU backend handles alloc/copy ops."""
+        kind = op.op_kind
+        if kind == "allocate":
+            buf = op.payload["buffer"]
+            shape = ", ".join(self.expr_py(s, env, False)
+                              for s in buf.sizes)
+            self.line(f"{_buf_var(buf)} = np.zeros(({shape},), "
+                      f"dtype=np.{buf.dtype.np_dtype})")
+        elif kind == "copy":
+            src = op.payload["src"]
+            dst = op.payload["dst"]
+            self.line(f"{_buf_var(dst)}[...] = {_buf_var(src)}")
+        elif kind == "cache_copy":
+            self._emit_cache_copy(op)
+        elif kind == "barrier":
+            self.line("pass  # barrier")
+        else:
+            self.line(f"_runtime.op({op.op_kind!r}, {op.name!r}, "
+                      f"{{{_payload_env(env)}}})")
+
+    def _emit_cache_copy(self, op) -> None:
+        """Copy the (clipped) footprint box from global memory into the
+        shared/local staging buffer."""
+        src = op.payload["src"]
+        dst = op.payload["dst"]
+        origins = op.payload["origins"]
+        extents = op.payload["extents"]
+        src_slices = []
+        dst_slices = []
+        for k, (origin, extent) in enumerate(zip(origins, extents)):
+            o = self.fresh("_o")
+            size = self.expr_py(src.sizes[k], {}, False)
+            self.line(f"{o} = {lin_to_py(origin, self.params)}")
+            lo = self.fresh("_lo")
+            hi = self.fresh("_hi")
+            self.line(f"{lo} = max(0, {o})")
+            self.line(f"{hi} = min({size}, {o} + {extent})")
+            src_slices.append(f"{lo}:{hi}")
+            dst_slices.append(f"{lo} - {o}:{hi} - {o}")
+        self.line(f"{_buf_var(dst)}[{', '.join(dst_slices)}] = "
+                  f"{_buf_var(src)}[{', '.join(src_slices)}]")
+
+
+def _payload_env(env: Dict[str, str]) -> str:
+    return ", ".join(f"{nm!r}: {s}" for nm, s in env.items()
+                     if not nm.startswith("__"))
+
+
+def _only_markers(env: Dict[str, str]) -> Dict[str, str]:
+    return {k: v for k, v in env.items() if k.startswith("__")}
+
+
+def _maybe_vector(env: Dict[str, str]) -> bool:
+    return "__vector_var__" in env
+
+
+def _buf_var(buffer) -> str:
+    return f"b_{buffer.name}"

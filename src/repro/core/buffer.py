@@ -1,0 +1,82 @@
+"""Buffers: the concrete storage objects of Layer III.
+
+A buffer has a shape (integers or affine expressions over parameters), an
+element type, an argument kind (input / output / temporary), and a memory
+tag placing it in a level of the memory hierarchy (the paper's
+``tag_gpu_global`` / ``tag_gpu_shared`` / ``tag_gpu_local`` /
+``tag_gpu_constant`` commands).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir import types as T
+from repro.ir.expr import Expr, wrap
+
+
+class ArgKind(Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+    TEMPORARY = "temporary"
+
+
+class MemSpace(Enum):
+    HOST = "host"
+    GPU_GLOBAL = "gpu_global"
+    GPU_SHARED = "gpu_shared"
+    GPU_LOCAL = "gpu_local"
+    GPU_CONSTANT = "gpu_constant"
+
+
+class Buffer:
+    """A named multi-dimensional array."""
+
+    def __init__(self, name: str, sizes: Sequence, dtype=T.float32,
+                 kind: ArgKind = ArgKind.TEMPORARY):
+        self.name = name
+        self.sizes: List[Expr] = [wrap(s) for s in sizes]
+        self.dtype = dtype
+        self.kind = kind
+        self.mem_space = MemSpace.HOST
+
+    # -- memory hierarchy tags (paper Table II) ------------------------
+
+    def tag_gpu_global(self) -> "Buffer":
+        self.mem_space = MemSpace.GPU_GLOBAL
+        return self
+
+    def tag_gpu_shared(self) -> "Buffer":
+        self.mem_space = MemSpace.GPU_SHARED
+        return self
+
+    def tag_gpu_local(self) -> "Buffer":
+        self.mem_space = MemSpace.GPU_LOCAL
+        return self
+
+    def tag_gpu_constant(self) -> "Buffer":
+        self.mem_space = MemSpace.GPU_CONSTANT
+        return self
+
+    def set_size(self, sizes: Sequence) -> "Buffer":
+        self.sizes = [wrap(s) for s in sizes]
+        return self
+
+    # -- runtime ---------------------------------------------------------
+
+    def concrete_shape(self, param_values) -> tuple:
+        from repro.backends.evalexpr import eval_const_expr
+        return tuple(int(eval_const_expr(s, param_values))
+                     for s in self.sizes)
+
+    def allocate(self, param_values) -> np.ndarray:
+        return np.zeros(self.concrete_shape(param_values),
+                        dtype=self.dtype.to_numpy())
+
+    def __repr__(self):
+        dims = ", ".join(repr(s) for s in self.sizes)
+        return f"Buffer({self.name}[{dims}], {self.dtype}, {self.kind.value})"

@@ -1,0 +1,334 @@
+"""Exact polyhedral dependence analysis and schedule legality checking.
+
+The paper distinguishes Tiramisu from Halide precisely here (Table I,
+"Exact dependence analysis" / "Compile-time set emptiness check"):
+transformation legality is decided by checking emptiness of dependence
+violation sets rather than by conservative syntactic rules.
+
+Dependences are memory-based relations (flow, anti, output) between
+statement instances, computed exactly from the affine access functions;
+non-affine indices (``clamp``) are over-approximated by leaving the
+accessed dimension unconstrained, as Section V-B prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.affine import NonAffineError, expr_to_linexpr
+from repro.ir.expr import accesses_in, substitute_exprs
+from repro.isl import (IN, OUT, PARAM, BasicMap, Constraint, LinExpr, Map,
+                       Set, Space)
+
+from .errors import IllegalScheduleError
+from .computation import Computation, Input, Operation
+
+
+@dataclass
+class Dependence:
+    kind: str                    # "flow" | "anti" | "output"
+    source: Computation
+    sink: Computation
+    buffer: object
+    relation: Map                # source domain -> sink domain
+
+    def __repr__(self):
+        return (f"<{self.kind} dep {self.source.name} -> {self.sink.name} "
+                f"on {self.buffer.name}>")
+
+
+# -- access relations --------------------------------------------------------
+
+
+def _param_table(comp) -> Dict[str, Tuple[str, int]]:
+    return {p: (PARAM, i)
+            for i, p in enumerate(comp.function.param_names)}
+
+
+def write_map(comp: Computation) -> Optional[Map]:
+    """Map: computation domain -> written buffer element."""
+    if comp.expr is None or isinstance(comp, (Input, Operation)):
+        return None
+    return _access_map(comp, comp.store_indices(), comp.get_buffer())
+
+
+def read_maps(comp: Computation) -> List[Tuple[object, Map]]:
+    """All (buffer, map) pairs this computation reads."""
+    out: List[Tuple[object, Map]] = []
+    if comp.expr is None:
+        return out
+    exprs = [comp.expr]
+    if comp.predicate is not None:
+        exprs.append(comp.predicate)
+    for e in exprs:
+        for acc in accesses_in(e):
+            producer = acc.computation
+            if producer.inlined:
+                # Reads of an inlined computation become reads of what it
+                # reads, with its vars substituted.
+                table = {nm: idx for nm, idx in
+                         zip(producer.var_names, acc.indices)}
+                inner = substitute_exprs(producer.expr, table)
+                for sub in accesses_in(inner):
+                    out.extend(_resolve_read(comp, sub))
+                continue
+            out.extend(_resolve_read(comp, acc))
+    return out
+
+
+def _resolve_read(comp, acc) -> List[Tuple[object, Map]]:
+    producer = acc.computation
+    table = {nm: idx for nm, idx in zip(producer.var_names, acc.indices)}
+    buf_indices = [substitute_exprs(e, table)
+                   for e in producer.store_indices()]
+    m = _access_map(comp, buf_indices, producer.get_buffer())
+    return [(producer.get_buffer(), m)] if m is not None else []
+
+
+def _access_map(comp, index_exprs, buffer) -> Optional[Map]:
+    params = comp.function.param_names
+    n = len(comp.var_names)
+    buf_dims = tuple(f"a{k}" for k in range(len(index_exprs)))
+    space = Space.map_space(tuple(comp.var_names), buf_dims,
+                            comp.name, buffer.name, params)
+    table = _param_table(comp)
+    table.update({nm: (IN, k) for k, nm in enumerate(comp.var_names)})
+    cons: List[Constraint] = []
+    for k, e in enumerate(index_exprs):
+        try:
+            le = expr_to_linexpr(e, table)
+        except NonAffineError:
+            continue  # over-approximate: dimension unconstrained
+        cons.append(Constraint.eq(LinExpr.dim(OUT, k) - le))
+    bm = BasicMap(space, cons)
+    return Map.from_basic(bm).intersect_domain(comp.domain)
+
+
+# -- dependence computation ---------------------------------------------------
+
+
+def _lex_lt_relation(names: Sequence[str], tuple_name: str,
+                     params: Tuple[str, ...]) -> Map:
+    """{ x -> y : x lexicographically-strictly-before y } on same space."""
+    n = len(names)
+    space = Space.map_space(tuple(names), tuple(names), tuple_name,
+                            tuple_name, params)
+    pieces = []
+    for k in range(n):
+        cons = [Constraint.eq(LinExpr.dim(OUT, j) - LinExpr.dim(IN, j))
+                for j in range(k)]
+        cons.append(Constraint.ge(LinExpr.dim(OUT, k)
+                                  - LinExpr.dim(IN, k) - 1))
+        pieces.append(BasicMap(space, cons))
+    return Map(pieces, space)
+
+
+def compute_dependences(fn, kinds=("flow", "anti", "output")
+                        ) -> List[Dependence]:
+    """All memory-based dependences of the function, with sources ordered
+    before sinks in the original (declaration + domain-lexicographic)
+    execution order."""
+    comps = [c for c in fn.active_computations()
+             if not isinstance(c, Operation)]
+    deps: List[Dependence] = []
+    decl_index = {c.name: i for i, c in enumerate(fn.computations)}
+    for a in comps:
+        for b in comps:
+            if decl_index[a.name] > decl_index[b.name]:
+                continue
+            for kind in kinds:
+                rel = _pair_dependence(a, b, kind)
+                for buffer, m in rel:
+                    if a is b:
+                        lex = _lex_lt_relation(a.var_names, a.name,
+                                               m.space.params)
+                        m = m.intersect(lex)
+                    m = m.coalesce()
+                    if not m.is_empty():
+                        deps.append(Dependence(kind, a, b, buffer, m))
+    return deps
+
+
+def _pair_dependence(a, b, kind) -> List[Tuple[object, Map]]:
+    """Dependence relations a -> b of the given kind (a not after b)."""
+    out: List[Tuple[object, Map]] = []
+    wa = write_map(a)
+    wb = write_map(b)
+    if kind == "flow":
+        if wa is None:
+            return out
+        for buf, rm in read_maps(b):
+            if buf is a.get_buffer():
+                out.append((buf, wa.apply_range(rm.reverse())))
+    elif kind == "anti":
+        if wb is None:
+            return out
+        for buf, rm in read_maps(a):
+            if buf is b.get_buffer():
+                out.append((buf, rm.apply_range(wb.reverse())))
+    elif kind == "output":
+        if wa is None or wb is None:
+            return out
+        if a.get_buffer() is b.get_buffer():
+            out.append((a.get_buffer(), wa.apply_range(wb.reverse())))
+    return out
+
+
+def dependence_distance(dep: Dependence,
+                        param_vals: Dict[str, int] = ()) -> Optional[
+                            Tuple[int, ...]]:
+    """The constant (uniform) distance vector of a same-space dependence,
+    or None when the dependence is not uniform.
+
+    Classic use: a dependence with distance (1, -1) allows skewing; all
+    positive leading entries means outer parallelism is illegal, etc.
+    """
+    if dep.source is not dep.sink and             len(dep.source.var_names) != len(dep.sink.var_names):
+        return None
+    from repro.isl.sample import sample as isl_sample
+    n = len(dep.source.var_names)
+    for bm in dep.relation.pieces:
+        flat = bm.to_set()
+        pt = isl_sample(flat, dict(param_vals))
+        if pt is None:
+            continue
+        cand = tuple(pt[n + k] - pt[k] for k in range(n))
+        # Verify uniformity: any pair deviating from cand in any dim?
+        for other in dep.relation.pieces:
+            for k in range(n):
+                diff = (LinExpr.dim(OUT, k) - LinExpr.dim(IN, k)
+                        - LinExpr.constant(cand[k]))
+                for strict in (diff - 1, -diff - 1):
+                    test = other.add_constraint(Constraint.ge(strict))
+                    subst = test
+                    for i, p in enumerate(test.space.params):
+                        if p in dict(param_vals):
+                            subst = subst.copy_with(constraints=[
+                                c.substitute((PARAM, i), LinExpr.constant(
+                                    dict(param_vals)[p]))
+                                for c in subst.constraints])
+                    if not subst.is_empty():
+                        return None
+        return cand
+    return None
+
+
+# -- schedule legality ----------------------------------------------------------
+
+
+def full_schedule_map(comp, beta: List[int], depth: int) -> Map:
+    """Map: original domain -> full interleaved time vector
+    [β0, t0, β1, t1, ..., t(depth-1), βdepth]; missing dynamic dims are
+    padded with 0."""
+    n_time = len(comp.time_names)
+    out_names = []
+    for k in range(depth):
+        out_names.append(f"s{k}")
+        out_names.append(f"d{k}")
+    out_names.append(f"s{depth}")
+    space = Space.map_space(tuple(comp.var_names), tuple(out_names),
+                            comp.name, "T", comp.function.param_names)
+    cons: List[Constraint] = []
+    for k in range(depth + 1):
+        cons.append(Constraint.eq(LinExpr.dim(OUT, 2 * k)
+                                  - LinExpr.constant(beta[k])))
+    for k in range(depth):
+        if k >= n_time:
+            cons.append(Constraint.eq(LinExpr.dim(OUT, 2 * k + 1)))
+    base = BasicMap(space, cons)
+    m = Map.from_basic(base)
+    # Tie dynamic dims to the computation's forward schedule.
+    fwd = comp.forward_schedule()  # domain -> time dims
+    pieces = []
+    for bm in fwd.pieces:
+        # Rebuild fwd pieces in the full-time space.
+        remap = {(OUT, k): (OUT, 2 * k + 1) for k in range(n_time)}
+        cons2 = [c.remap(remap) for c in bm.constraints]
+        pieces.append(BasicMap(space, cons2, bm.n_div))
+    fwd_full = Map(pieces, space)
+    return m.intersect(fwd_full)
+
+
+def _time_violation(rel: Map, n_out: int) -> bool:
+    """True if rel (time_p -> time_q) contains a pair with
+    time_q <=_lex time_p."""
+    for bm in rel.pieces:
+        # Equality case and per-level strict cases.
+        for k in range(n_out):
+            cons = [Constraint.eq(LinExpr.dim(OUT, j) - LinExpr.dim(IN, j))
+                    for j in range(k)]
+            cons.append(Constraint.ge(LinExpr.dim(IN, k)
+                                      - LinExpr.dim(OUT, k) - 1))
+            if not bm.add_constraints(cons).is_empty():
+                return True
+    return False
+
+
+def check_schedule_legality(fn) -> None:
+    """Raise IllegalScheduleError if the current schedule reorders any
+    dependence (paper Section II-c / V).
+
+    Computations nested by ``compute_at`` execute *redundantly* (the
+    overlapped tiling of Section III-C): every copy recomputes the same
+    value, so the write-after-read hazards between their copies and
+    their consumers are benign and are not checked (memory-based
+    analysis cannot distinguish a benign recompute from a real
+    overwrite).
+    """
+    deps = [d for d in compute_dependences(fn)
+            if d.source.anchor is None and d.sink.anchor is None]
+    if not deps:
+        return
+    beta = fn.resolve_order()
+    depth = fn.max_depth()
+    n_out = 2 * depth + 1
+    sched: Dict[str, Map] = {}
+    for dep in deps:
+        for comp in (dep.source, dep.sink):
+            if comp.name not in sched:
+                sched[comp.name] = full_schedule_map(
+                    comp, beta[comp.name], depth)
+        rel = (sched[dep.source.name].reverse()
+               .apply_range(dep.relation)
+               .apply_range(sched[dep.sink.name]))
+        if _time_violation(rel, n_out):
+            raise IllegalScheduleError(
+                f"schedule violates {dep.kind} dependence "
+                f"{dep.source.name} -> {dep.sink.name} on buffer "
+                f"{dep.buffer.name}")
+
+
+def carried_at_level(fn, comp, level: int) -> List[Dependence]:
+    """Dependences carried by loop ``level`` of ``comp`` (same values of
+    all outer dims, different at ``level``).  A loop can be parallelized,
+    vectorized or distributed only if this is empty (paper Table II)."""
+    deps = compute_dependences(fn)
+    beta = fn.resolve_order()
+    depth = fn.max_depth()
+    carried: List[Dependence] = []
+    for dep in deps:
+        if dep.source is not comp and dep.sink is not comp:
+            continue
+        sp = full_schedule_map(dep.source, beta[dep.source.name], depth)
+        sq = full_schedule_map(dep.sink, beta[dep.sink.name], depth)
+        rel = sp.reverse().apply_range(dep.relation).apply_range(sq)
+        # Carried: equal on all dims before dyn dim `level`, different at
+        # `level` (position 2*level+1 in the interleaved vector).
+        pos = 2 * level + 1
+        found = False
+        for bm in rel.pieces:
+            cons = [Constraint.eq(LinExpr.dim(OUT, j) - LinExpr.dim(IN, j))
+                    for j in range(pos)]
+            for strict in (1, -1):
+                diff = (LinExpr.dim(OUT, pos) - LinExpr.dim(IN, pos)) * strict
+                test = bm.add_constraints(
+                    cons + [Constraint.ge(diff - 1)])
+                if not test.is_empty():
+                    found = True
+                    break
+            if found:
+                break
+        if found:
+            carried.append(dep)
+    return carried

@@ -1,0 +1,78 @@
+"""Textual dump of the four-layer IR (paper Section IV).
+
+``dump_ir(fn)`` prints, per computation:
+
+- **Layer I** — the iteration domain (an ISL set) and the expression;
+- **Layer II** — the scheduled instance set, dimension tags, and the
+  static (β) ordering vector;
+- **Layer III** — the buffer and access function;
+- **Layer IV** — the communication/synchronization operations.
+
+Used by tests to lock the layering behaviour and by users to inspect
+what a schedule did.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from .computation import Computation, Input, Operation
+
+
+def dump_ir(fn) -> str:
+    out = io.StringIO()
+    beta = fn.resolve_order()
+    write = out.write
+    write(f"function {fn.name}(params: {', '.join(fn.param_names)})\n")
+    regular = [c for c in fn.active_computations()
+               if not isinstance(c, Operation)]
+    operations = [c for c in fn.active_computations()
+                  if isinstance(c, Operation)]
+
+    write("\n-- Layer I: abstract algorithm "
+          "(domains + expressions, unordered) --\n")
+    for c in regular:
+        write(f"  {c.name}: {c.domain!r}\n")
+        if c.expr is not None:
+            write(f"    = {c.expr!r}\n")
+        if c.predicate is not None:
+            write(f"    if {c.predicate!r}\n")
+
+    write("\n-- Layer II: computation management "
+          "(time-space + tags + order) --\n")
+    for c in regular:
+        if isinstance(c, Input):
+            continue
+        write(f"  {c.name}: beta={beta[c.name]} "
+              f"dims={c.time_names}\n")
+        write(f"    instances: {c.instances!r}\n")
+        if c.tags:
+            tags = {c.time_names[k]: repr(t) for k, t in sorted(c.tags.items())
+                    if k < len(c.time_names)}
+            write(f"    tags: {tags}\n")
+
+    write("\n-- Layer III: data management (buffers + access functions) --\n")
+    for c in regular:
+        buf = c.get_buffer()
+        idx = ", ".join(repr(e) for e in c.store_indices())
+        space = buf.mem_space.value
+        write(f"  {c.name}({', '.join(c.var_names)}) -> "
+              f"{buf.name}[{idx}]   # {buf.kind.value}, {space}\n")
+        if c.cached_store is not None:
+            write(f"    (stores via cache {c.cached_store[0].name})\n")
+        for producer, (shared, __, ___) in c.cached_reads.items():
+            write(f"    (reads {producer} via cache {shared.name})\n")
+
+    write("\n-- Layer IV: communication management (operations) --\n")
+    if not operations:
+        write("  (none)\n")
+    for op in operations:
+        write(f"  {op.name}: {op.op_kind} beta={beta[op.name]} "
+              f"dims={op.time_names}\n")
+        for key in ("src", "dst", "buffer", "peer", "size"):
+            if key in op.payload and op.payload[key] is not None:
+                value = op.payload[key]
+                name = getattr(value, "name", repr(value))
+                write(f"    {key}: {name}\n")
+    return out.getvalue()

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the Tiramisu core."""
+
+
+class TiramisuError(Exception):
+    """Base class for all user-facing errors."""
+
+
+class ScheduleError(TiramisuError):
+    """A scheduling command was malformed or applied out of order."""
+
+
+class IllegalScheduleError(ScheduleError):
+    """The schedule violates a dependence (caught by legality checking)."""
+
+
+class UnsupportedScheduleError(ScheduleError):
+    """The schedule is valid ISL but outside the supported fragment."""
+
+
+class CodegenError(TiramisuError):
+    """Code generation failed."""
+
+
+class ExecutionError(TiramisuError):
+    """A compiled kernel failed at run time."""

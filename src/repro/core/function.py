@@ -1,0 +1,203 @@
+"""The Tiramisu function: a pipeline of computations plus its schedule.
+
+A :class:`Function` collects computations, ordering directives, and
+buffer arguments, resolves the static (β) ordering dimensions, and hands
+the result to a backend for code generation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.expr import Expr, ParamRef
+
+from .buffer import ArgKind, Buffer
+from .errors import ScheduleError, TiramisuError
+from .var import Param
+
+_function_stack: List["Function"] = []
+
+
+def current_function() -> Optional["Function"]:
+    return _function_stack[-1] if _function_stack else None
+
+
+class Function:
+    """A named pipeline (the paper's `tiramisu::function`)."""
+
+    def __init__(self, name: str, params: Sequence[Param] = ()):
+        self.name = name
+        self.params: List[Param] = list(params)
+        self.computations: List = []
+        self.order_directives: List[Tuple[str, object, object, int]] = []
+        self._beta: Optional[Dict[str, List[Fraction]]] = None
+
+    # -- registration -----------------------------------------------------
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def add_param(self, param: Param) -> None:
+        if param.name not in self.param_names:
+            self.params.append(param)
+
+    def ensure_params_from(self, expr: Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, ParamRef):
+                if node.name not in self.param_names:
+                    self.params.append(Param(node.name))
+
+    def _register(self, comp) -> None:
+        if any(c.name == comp.name for c in self.computations):
+            raise TiramisuError(
+                f"duplicate computation name {comp.name!r} in {self.name}")
+        for v in comp.vars:
+            if v.lo is not None:
+                self.ensure_params_from(v.lo)
+            if v.hi is not None:
+                self.ensure_params_from(v.hi)
+        self.computations.append(comp)
+        self._beta = None
+
+    def _register_clone(self, comp) -> None:
+        """Register a computation created by a pass (e.g. separation)
+        without rebuilding its domain."""
+        if any(c.name == comp.name for c in self.computations):
+            raise TiramisuError(
+                f"duplicate computation name {comp.name!r} in {self.name}")
+        self.computations.append(comp)
+        self._beta = None
+
+    def find(self, name: str):
+        for c in self.computations:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Function":
+        _function_stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _function_stack.pop()
+
+    # -- ordering -----------------------------------------------------------
+
+    def order_after(self, a, b, level: int) -> None:
+        """a executes after b; they share loop levels 0..level."""
+        self.order_directives.append(("after", a, b, level))
+        self._beta = None
+
+    def order_before(self, a, b, level: int) -> None:
+        self.order_directives.append(("before", a, b, level))
+        self._beta = None
+
+    def sequence(self, *comps) -> None:
+        """Order the given computations sequentially at the root level."""
+        for prev, nxt in zip(comps, comps[1:]):
+            self.order_after(nxt, prev, -1)
+
+    def active_computations(self) -> List:
+        return [c for c in self.computations if not c.inlined]
+
+    def max_depth(self) -> int:
+        comps = self.active_computations()
+        return max((len(c.time_names) for c in comps), default=0)
+
+    def resolve_order(self) -> Dict[str, List[int]]:
+        """Compute the static (β) ordering vector for each computation.
+
+        β has length max_depth + 1; entry k orders computations that
+        share loop levels 0..k-1, just before dynamic dim k.  Directives
+        are applied in program order; the result is canonicalised to
+        small consecutive integers.
+        """
+        comps = self.active_computations()
+        depth = self.max_depth()
+        eps = Fraction(1, 1 << 20)
+        beta: Dict[str, List[Fraction]] = {}
+        for idx, c in enumerate(comps):
+            beta[c.name] = [Fraction(idx)] + [Fraction(0)] * depth
+        counter = 0
+        for kind, a, b, level in self.order_directives:
+            if a.inlined or b.inlined:
+                continue
+            counter += 1
+            delta = eps * counter if kind == "after" else -eps * counter
+            vec = list(beta[b.name])
+            new = vec[:level + 2]  # copy the shared prefix 0..level
+            new[level + 1] = vec[level + 1] + delta
+            new += [Fraction(0)] * (depth - len(new) + 1)
+            beta[a.name] = new
+        return self._canonicalize_beta(beta, depth)
+
+    @staticmethod
+    def _canonicalize_beta(beta: Dict[str, List[Fraction]], depth: int
+                           ) -> Dict[str, List[int]]:
+        names = list(beta)
+        result: Dict[str, List[int]] = {nm: [0] * (depth + 1)
+                                        for nm in names}
+        def recurse(group: List[str], level: int) -> None:
+            if level > depth:
+                return
+            values = sorted({beta[nm][level] for nm in group})
+            rank = {v: i for i, v in enumerate(values)}
+            buckets: Dict[int, List[str]] = {}
+            for nm in group:
+                r = rank[beta[nm][level]]
+                result[nm][level] = r
+                buckets.setdefault(r, []).append(nm)
+            for members in buckets.values():
+                recurse(members, level + 1)
+        recurse(names, 0)
+        return result
+
+    # -- compilation ----------------------------------------------------------
+
+    def lower(self):
+        """Produce the backend-independent AST (Layer IV -> AST)."""
+        from repro.codegen.isl_to_ast import generate_ast
+        return generate_ast(self)
+
+    def compile(self, target: str = "cpu", **opts):
+        """Generate executable code for the given backend."""
+        if target == "cpu":
+            from repro.backends.cpu import compile_cpu
+            return compile_cpu(self, **opts)
+        if target == "c":
+            from repro.backends.c import compile_c
+            return compile_c(self, **opts)
+        if target == "gpu":
+            from repro.backends.gpu import compile_gpu
+            return compile_gpu(self, **opts)
+        if target == "distributed":
+            from repro.backends.distributed import compile_distributed
+            return compile_distributed(self, **opts)
+        raise ValueError(f"unknown target {target!r}")
+
+    def dump_ir(self) -> str:
+        """Textual dump of the four IR layers (paper Section IV)."""
+        from .dump import dump_ir
+        return dump_ir(self)
+
+    def check_legality(self) -> None:
+        """Verify the current schedule preserves all dependences."""
+        from .deps import check_schedule_legality
+        check_schedule_legality(self)
+
+    def arguments(self) -> List[Buffer]:
+        """Input/output buffers, in declaration order."""
+        seen: List[Buffer] = []
+        for c in self.computations:
+            buf = c.get_buffer()
+            if buf not in seen and buf.kind != ArgKind.TEMPORARY:
+                seen.append(buf)
+        return seen
+
+    def __repr__(self):
+        return (f"<Function {self.name}: "
+                f"{[c.name for c in self.computations]}>")

@@ -1,0 +1,92 @@
+"""Iteration variables and symbolic size parameters (paper Section III-B).
+
+``Var i(0, N-2)`` in the paper's C++ API becomes ``Var("i", 0, N - 2)``
+here: a named iterator with a half-open range ``[lo, hi)``.  Bounds may be
+integers or affine expressions over :class:`Param` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.expr import Expr, IterVar, ParamRef, wrap
+
+_fresh_counter = itertools.count()
+
+
+class Param(ParamRef):
+    """A symbolic, run-time-constant size parameter (e.g. ``N``)."""
+
+
+class Var:
+    """An iteration variable, optionally carrying its range.
+
+    A ranged Var (``Var("i", 0, N)``) declares an iteration-domain
+    dimension; a bare Var (``Var("i0")``) names a loop level created by a
+    scheduling command such as ``tile`` or ``split``.
+    """
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: Optional[str] = None, lo=None, hi=None):
+        if name is None:
+            name = f"v{next(_fresh_counter)}"
+        self.name = name
+        self.lo = wrap(lo) if lo is not None else None
+        self.hi = wrap(hi) if hi is not None else None
+
+    @property
+    def has_range(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def expr(self) -> IterVar:
+        return IterVar(self.name)
+
+    # Vars participate in expressions directly.
+    def __add__(self, other):
+        return self.expr() + other
+
+    def __radd__(self, other):
+        return other + self.expr()
+
+    def __sub__(self, other):
+        return self.expr() - other
+
+    def __rsub__(self, other):
+        return other - self.expr()
+
+    def __mul__(self, other):
+        return self.expr() * other
+
+    def __rmul__(self, other):
+        return other * self.expr()
+
+    def __neg__(self):
+        return -self.expr()
+
+    def __mod__(self, other):
+        return self.expr() % other
+
+    def __floordiv__(self, other):
+        return self.expr() // other
+
+    def __lt__(self, other):
+        return self.expr() < wrap(other)
+
+    def __le__(self, other):
+        return self.expr() <= wrap(other)
+
+    def __gt__(self, other):
+        return self.expr() > wrap(other)
+
+    def __ge__(self, other):
+        return self.expr() >= wrap(other)
+
+    def eq(self, other):
+        return self.expr().eq(other)
+
+    def __repr__(self):
+        if self.has_range:
+            return f"Var({self.name}, {self.lo!r}, {self.hi!r})"
+        return f"Var({self.name})"

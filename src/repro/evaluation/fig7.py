@@ -1,0 +1,42 @@
+"""Figure 7: strong scaling of distributed Tiramisu code on 2, 4, 8 and
+16 nodes (speedup relative to 2 nodes).
+
+The paper's claim: "distributed code generated from Tiramisu scales well
+as the number of nodes increases" — near-linear for kernels without
+communication, slightly sublinear where halo exchanges are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .fig6 import BENCHES, tiramisu_distributed_time
+
+NODE_COUNTS = [2, 4, 8, 16]
+
+
+def figure7(benches: List[str] = None,
+            node_counts: List[int] = None) -> Dict[str, Dict[int, float]]:
+    """speedup[bench][nodes] relative to 2 nodes."""
+    benches = benches or BENCHES
+    node_counts = node_counts or NODE_COUNTS
+    out: Dict[str, Dict[int, float]] = {}
+    for bench in benches:
+        times = {n: tiramisu_distributed_time(bench, n)
+                 for n in node_counts}
+        base = times[node_counts[0]]
+        out[bench] = {n: base / t for n, t in times.items()}
+    return out
+
+
+def render_figure7(data=None) -> str:
+    data = data or figure7()
+    node_counts = sorted(next(iter(data.values())))
+    lines = ["benchmark".ljust(14)
+             + "".join(f"{n} nodes".ljust(10) for n in node_counts)]
+    for bench, speedups in data.items():
+        row = bench.ljust(14)
+        for n in node_counts:
+            row += f"{speedups[n]:.2f}x".ljust(10)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Table I: the framework feature-comparison matrix.
+
+The Tiramisu column is *executable*: every ``True`` is backed by a probe
+in ``tests/test_table1_features.py`` that exercises the feature through
+the public API (and the single ``False`` — parametric tiling — by a
+probe showing the limitation).  Other columns restate the paper's table
+for the comparison printout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+FEATURES: List[str] = [
+    "CPU code generation",
+    "GPU code generation",
+    "Distributed CPU code generation",
+    "Distributed GPU code generation",
+    "Support all affine loop transformations",
+    "Commands for loop transformations",
+    "Commands for optimizing data accesses",
+    "Commands for communication",
+    "Commands for memory hierarchies",
+    "Expressing cyclic data-flow graphs",
+    "Non-rectangular iteration spaces",
+    "Exact dependence analysis",
+    "Compile-time set emptiness check",
+    "Implement parametric tiling",
+]
+
+# Values: True / False / "Limited" (matching Table I's Yes/No/Limited).
+TABLE_I: Dict[str, Dict[str, object]] = {
+    "Tiramisu": {
+        "CPU code generation": True,
+        "GPU code generation": True,
+        "Distributed CPU code generation": True,
+        "Distributed GPU code generation": True,
+        "Support all affine loop transformations": True,
+        "Commands for loop transformations": True,
+        "Commands for optimizing data accesses": True,
+        "Commands for communication": True,
+        "Commands for memory hierarchies": True,
+        "Expressing cyclic data-flow graphs": True,
+        "Non-rectangular iteration spaces": True,
+        "Exact dependence analysis": True,
+        "Compile-time set emptiness check": True,
+        "Implement parametric tiling": False,
+    },
+    "AlphaZ": {
+        "CPU code generation": True,
+        "GPU code generation": False,
+        "Distributed CPU code generation": False,
+        "Distributed GPU code generation": False,
+        "Support all affine loop transformations": True,
+        "Commands for loop transformations": True,
+        "Commands for optimizing data accesses": True,
+        "Commands for communication": False,
+        "Commands for memory hierarchies": False,
+        "Expressing cyclic data-flow graphs": True,
+        "Non-rectangular iteration spaces": True,
+        "Exact dependence analysis": True,
+        "Compile-time set emptiness check": True,
+        "Implement parametric tiling": True,
+    },
+    "PENCIL": {
+        "CPU code generation": True,
+        "GPU code generation": True,
+        "Distributed CPU code generation": False,
+        "Distributed GPU code generation": False,
+        "Support all affine loop transformations": True,
+        "Commands for loop transformations": False,
+        "Commands for optimizing data accesses": False,
+        "Commands for communication": False,
+        "Commands for memory hierarchies": False,
+        "Expressing cyclic data-flow graphs": True,
+        "Non-rectangular iteration spaces": True,
+        "Exact dependence analysis": True,
+        "Compile-time set emptiness check": True,
+        "Implement parametric tiling": False,
+    },
+    "Pluto": {
+        "CPU code generation": True,
+        "GPU code generation": True,
+        "Distributed CPU code generation": True,
+        "Distributed GPU code generation": False,
+        "Support all affine loop transformations": True,
+        "Commands for loop transformations": False,
+        "Commands for optimizing data accesses": False,
+        "Commands for communication": False,
+        "Commands for memory hierarchies": False,
+        "Expressing cyclic data-flow graphs": True,
+        "Non-rectangular iteration spaces": True,
+        "Exact dependence analysis": True,
+        "Compile-time set emptiness check": True,
+        "Implement parametric tiling": False,
+    },
+    "Halide": {
+        "CPU code generation": True,
+        "GPU code generation": True,
+        "Distributed CPU code generation": True,
+        "Distributed GPU code generation": False,
+        "Support all affine loop transformations": False,
+        "Commands for loop transformations": True,
+        "Commands for optimizing data accesses": True,
+        "Commands for communication": False,
+        "Commands for memory hierarchies": "Limited",
+        "Expressing cyclic data-flow graphs": False,
+        "Non-rectangular iteration spaces": "Limited",
+        "Exact dependence analysis": False,
+        "Compile-time set emptiness check": False,
+        "Implement parametric tiling": True,
+    },
+}
+
+
+def render_table_i() -> str:
+    frameworks = list(TABLE_I)
+    width = max(len(f) for f in FEATURES) + 2
+    lines = ["Feature".ljust(width)
+             + "".join(fw.ljust(10) for fw in frameworks)]
+    for feat in FEATURES:
+        row = feat.ljust(width)
+        for fw in frameworks:
+            val = TABLE_I[fw][feat]
+            text = val if isinstance(val, str) else ("Yes" if val else "No")
+            row += text.ljust(10)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# Table II: the scheduling-command catalogue, mapped to the public API.
+TABLE_II_COMMANDS: Dict[str, str] = {
+    "tile": "Computation.tile",
+    "interchange": "Computation.interchange",
+    "shift": "Computation.shift",
+    "split": "Computation.split",
+    "compute_at": "Computation.compute_at",
+    "unroll": "Computation.unroll",
+    "after": "Computation.after",
+    "inline": "Computation.inline",
+    "set_schedule": "Computation.set_schedule",
+    "parallelize": "Computation.parallelize",
+    "vectorize": "Computation.vectorize",
+    "gpu": "Computation.gpu",
+    "tile_gpu": "Computation.tile_gpu",
+    "distribute": "Computation.distribute",
+    "store_in": "Computation.store_in",
+    "cache_shared_at": "Computation.cache_shared_at",
+    "cache_local_at": "Computation.cache_local_at",
+    "send": "repro.core.communication.send",
+    "receive": "repro.core.communication.receive",
+    "Buffer": "repro.core.buffer.Buffer",
+    "allocate_at": "repro.core.communication.allocate_at",
+    "buffer": "Computation.get_buffer",
+    "set_size": "Buffer.set_size",
+    "tag_gpu_global": "Buffer.tag_gpu_global",
+    "tag_gpu_shared": "Buffer.tag_gpu_shared",
+    "tag_gpu_local": "Buffer.tag_gpu_local",
+    "tag_gpu_constant": "Buffer.tag_gpu_constant",
+    "host_to_device": "Computation.host_to_device",
+    "device_to_host": "Computation.device_to_host",
+    "copy_at": "repro.core.communication.copy_at",
+    "barrier_at": "repro.core.communication.barrier_at",
+}

@@ -1,0 +1,7 @@
+"""Mini-Halide: the interval-based comparator compiler (DESIGN.md)."""
+
+from .func import Func, HalideError, HVar, ImageParam
+from .pipeline import BoundsAssertion, Pipeline, interval_eval
+
+__all__ = ["Func", "HalideError", "HVar", "ImageParam", "BoundsAssertion",
+           "Pipeline", "interval_eval"]

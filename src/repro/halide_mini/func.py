@@ -1,0 +1,175 @@
+"""A miniature Halide: interval-based image-pipeline compiler.
+
+This is the comparator system of the paper's evaluation (DESIGN.md
+substitution table).  It deliberately reproduces the *restrictions* the
+paper attributes to Halide (Section II-c, Table I, Section VI-B):
+
+- iteration spaces are **intervals** (hyper-rectangles), so bounds
+  inference over-approximates non-rectangular spaces (ticket #2373);
+- the dataflow graph must be **acyclic** (edgeDetector is rejected);
+- there is **no dependence analysis**: ``compute_with`` (loop fusion)
+  refuses any pair where the second loop reads what the first produced,
+  and funcs updating the same buffer are never fused (nb);
+- scheduling: split/tile/reorder/parallel/vectorize/unroll/compute_at /
+  compute_root, with interval (bounding-box) windows for compute_at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.expr import (Access, BinOp, Call, Cast, Const, Expr, IterVar,
+                           ParamRef, Select, UnOp, accesses_in, wrap)
+
+
+class HalideError(Exception):
+    """A program or schedule outside mini-Halide's model."""
+
+
+class HVar:
+    """A Halide loop variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def expr(self) -> IterVar:
+        return IterVar(self.name)
+
+    def __add__(self, other):
+        return self.expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.expr() - other
+
+    def __rsub__(self, other):
+        return other - self.expr()
+
+    def __mul__(self, other):
+        return self.expr() * other
+
+    __rmul__ = __mul__
+
+    def __repr__(self):
+        return f"HVar({self.name})"
+
+
+@dataclass
+class _ScheduleDirective:
+    kind: str
+    args: tuple
+
+
+class Func:
+    """A Halide func: pure definition over HVars, plus a schedule."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.vars: List[HVar] = []
+        self.expr: Optional[Expr] = None
+        self.directives: List[_ScheduleDirective] = []
+        self.compute_at_spec: Optional[Tuple["Func", HVar]] = None
+        self.is_input = False
+        self.input_shape: Optional[Tuple[int, ...]] = None
+
+    # -- definition -----------------------------------------------------
+
+    def define(self, variables: Sequence[HVar], expr) -> "Func":
+        if self.expr is not None:
+            raise HalideError(
+                f"{self.name}: redefinition (update definitions that "
+                "write a producer's buffer are not supported — the "
+                "restriction behind the nb benchmark)")
+        self.vars = list(variables)
+        self.expr = wrap(expr)
+        return self
+
+    def __call__(self, *indices):
+        return Access(self, [wrap(i) for i in indices])
+
+    # mimic the attributes kernels of repro.core computations expose so
+    # expression machinery can be shared
+    @property
+    def var_names(self):
+        return [v.name for v in self.vars]
+
+    @property
+    def inlined(self):
+        return False
+
+    def store_indices(self):
+        return [v.expr() for v in self.vars]
+
+    # -- scheduling ------------------------------------------------------
+
+    def parallel(self, var: HVar) -> "Func":
+        self.directives.append(_ScheduleDirective("parallel", (var.name,)))
+        return self
+
+    def vectorize(self, var: HVar, width: int = 8) -> "Func":
+        self.directives.append(_ScheduleDirective("vectorize",
+                                                  (var.name, width)))
+        return self
+
+    def unroll(self, var: HVar, factor: int = 4) -> "Func":
+        self.directives.append(_ScheduleDirective("unroll",
+                                                  (var.name, factor)))
+        return self
+
+    def split(self, var: HVar, outer: HVar, inner: HVar,
+              factor: int) -> "Func":
+        self.directives.append(_ScheduleDirective(
+            "split", (var.name, outer.name, inner.name, factor)))
+        return self
+
+    def tile(self, x: HVar, y: HVar, xo: HVar, yo: HVar, xi: HVar,
+             yi: HVar, fx: int, fy: int) -> "Func":
+        self.directives.append(_ScheduleDirective(
+            "tile", (x.name, y.name, xo.name, yo.name, xi.name, yi.name,
+                     fx, fy)))
+        return self
+
+    def reorder(self, *variables: HVar) -> "Func":
+        self.directives.append(_ScheduleDirective(
+            "reorder", tuple(v.name for v in variables)))
+        return self
+
+    def compute_at(self, consumer: "Func", var: HVar) -> "Func":
+        self.compute_at_spec = (consumer, var)
+        return self
+
+    def compute_root(self) -> "Func":
+        self.compute_at_spec = None
+        return self
+
+    def compute_with(self, other: "Func") -> "Func":
+        """Halide's loop fusion.  Conservative rule (no dependence
+        analysis): refuse whenever this func reads the other."""
+        for acc in accesses_in(self.expr):
+            if acc.computation is other:
+                raise HalideError(
+                    f"cannot compute_with: {self.name} reads values "
+                    f"produced by {other.name} (Halide has no dependence "
+                    "analysis to prove such fusion legal)")
+        self.directives.append(_ScheduleDirective("compute_with",
+                                                  (other.name,)))
+        return self
+
+    def __repr__(self):
+        return f"<Func {self.name}({', '.join(self.var_names)})>"
+
+
+class ImageParam(Func):
+    """An input image."""
+
+    def __init__(self, name: str, dims: int):
+        super().__init__(name)
+        self.is_input = True
+        self.dims = dims
+        self.vars = [HVar(f"_{name}{k}") for k in range(dims)]

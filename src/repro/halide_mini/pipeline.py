@@ -1,0 +1,257 @@
+"""Pipeline compilation for mini-Halide: interval bounds inference and a
+NumPy evaluator.
+
+Bounds inference is the crux: required regions are computed as
+per-dimension **intervals** (Halide's representation), which is exact for
+rectangular consumption patterns and *over-approximates* everything else.
+When an over-approximated region exceeds an input's actual extent,
+realization fails with :class:`BoundsAssertion` — the failure mode of
+Halide ticket #2373 that Section VI-B describes ("the inferred bounds are
+over-approximated, causing the generated code to fail due to an
+assertion during execution")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.expr import (Access, BinOp, Call, Cast, Const, Expr, IterVar,
+                           ParamRef, Select, UnOp, accesses_in)
+
+from .func import Func, HalideError, ImageParam
+
+Interval = Tuple[float, float]
+
+
+class BoundsAssertion(HalideError):
+    """Inferred bounds exceed an input's extent (ticket #2373 mode)."""
+
+
+# -- interval arithmetic over expression trees --------------------------------
+
+
+def interval_eval(expr: Expr, env: Dict[str, Interval]) -> Interval:
+    if isinstance(expr, Const):
+        return (float(expr.value), float(expr.value))
+    if isinstance(expr, IterVar):
+        if expr.name not in env:
+            raise HalideError(f"unbound variable {expr.name} in bounds")
+        return env[expr.name]
+    if isinstance(expr, ParamRef):
+        raise HalideError("symbolic parameters need concrete extents")
+    if isinstance(expr, BinOp):
+        a = interval_eval(expr.lhs, env)
+        b = interval_eval(expr.rhs, env)
+        if expr.op == "+":
+            return (a[0] + b[0], a[1] + b[1])
+        if expr.op == "-":
+            return (a[0] - b[1], a[1] - b[0])
+        if expr.op in ("*", "/", "//"):
+            combos = []
+            for x in a:
+                for y in b:
+                    if expr.op == "*":
+                        combos.append(x * y)
+                    else:
+                        combos.append(x / y if y != 0 else 0.0)
+            return (min(combos), max(combos))
+        if expr.op == "%":
+            return (0.0, max(abs(b[0]), abs(b[1])) - 1)
+        # comparisons appear only inside select conditions
+        return (0.0, 1.0)
+    if isinstance(expr, UnOp):
+        a = interval_eval(expr.operand, env)
+        return (-a[1], -a[0])
+    if isinstance(expr, Call):
+        if expr.fn == "clamp":
+            v = interval_eval(expr.args[0], env)
+            lo = interval_eval(expr.args[1], env)
+            hi = interval_eval(expr.args[2], env)
+            return (max(v[0], lo[0]), min(v[1], hi[1]))
+        if expr.fn in ("min", "max"):
+            a = interval_eval(expr.args[0], env)
+            b = interval_eval(expr.args[1], env)
+            if expr.fn == "min":
+                return (min(a[0], b[0]), min(a[1], b[1]))
+            return (max(a[0], b[0]), max(a[1], b[1]))
+        if expr.fn == "floor":
+            a = interval_eval(expr.args[0], env)
+            return (np.floor(a[0]), np.floor(a[1]))
+        if expr.fn == "abs":
+            a = interval_eval(expr.args[0], env)
+            m = max(abs(a[0]), abs(a[1]))
+            return (0.0, m)
+        a = interval_eval(expr.args[0], env)
+        return a
+    if isinstance(expr, Select):
+        t = interval_eval(expr.if_true, env)
+        f = interval_eval(expr.if_false, env)
+        return (min(t[0], f[0]), max(t[1], f[1]))
+    if isinstance(expr, Cast):
+        return interval_eval(expr.operand, env)
+    raise HalideError(f"cannot bound {expr!r}")
+
+
+# -- the pipeline -----------------------------------------------------------------
+
+
+class Pipeline:
+    def __init__(self, outputs: Sequence[Func]):
+        self.outputs = list(outputs)
+        self.funcs = self._collect()
+        self._check_acyclic()
+
+    def _collect(self) -> List[Func]:
+        seen: Dict[str, Func] = {}
+        order: List[Func] = []
+
+        def visit(func: Func):
+            if func.name in seen:
+                return
+            seen[func.name] = func
+            if func.expr is not None:
+                for acc in accesses_in(func.expr):
+                    visit(acc.computation)
+            order.append(func)
+
+        for out in self.outputs:
+            visit(out)
+        return order
+
+    def _check_acyclic(self) -> None:
+        """Halide's restriction: the dataflow graph must be acyclic.
+
+        Cycles are detected at the *buffer* level: two funcs reading each
+        other (directly or transitively) — the edgeDetector pattern —
+        are rejected (paper Section VI-B: "Halide can only express
+        programs with an acyclic dependence graph")."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {f.name: WHITE for f in self.funcs}
+
+        def visit(func: Func):
+            color[func.name] = GRAY
+            if func.expr is not None:
+                for acc in accesses_in(func.expr):
+                    prod = acc.computation
+                    if color.get(prod.name, WHITE) == GRAY:
+                        raise HalideError(
+                            f"cyclic dataflow between {func.name} and "
+                            f"{prod.name}: Halide requires an acyclic "
+                            "dependence graph")
+                    if color.get(prod.name, WHITE) == WHITE:
+                        visit(prod)
+            color[func.name] = BLACK
+
+        for out in self.outputs:
+            if color[out.name] == WHITE:
+                visit(out)
+
+    # -- bounds inference -------------------------------------------------------
+
+    def infer_bounds(self, output_extents: Dict[str, Sequence[int]]
+                     ) -> Dict[str, List[Interval]]:
+        """Required interval box per func, from the outputs downwards."""
+        required: Dict[str, List[Interval]] = {}
+        for out in self.outputs:
+            ext = output_extents[out.name]
+            required[out.name] = [(0.0, float(e - 1)) for e in ext]
+        # Reverse topological: outputs first.
+        for func in reversed(self.funcs):
+            if func.name not in required or func.expr is None:
+                continue
+            box = required[func.name]
+            env = {v.name: box[k] for k, v in enumerate(func.vars)}
+            for acc in accesses_in(func.expr):
+                prod = acc.computation
+                intervals = [interval_eval(idx, env) for idx in acc.indices]
+                if prod.name in required:
+                    old = required[prod.name]
+                    required[prod.name] = [
+                        (min(o[0], n[0]), max(o[1], n[1]))
+                        for o, n in zip(old, intervals)]
+                else:
+                    required[prod.name] = list(intervals)
+        return required
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def realize(self, output_extents: Dict[str, Sequence[int]],
+                inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        required = self.infer_bounds(output_extents)
+        storage: Dict[str, np.ndarray] = {}
+        offsets: Dict[str, Tuple[int, ...]] = {}
+        for func in self.funcs:
+            if func.is_input:
+                arr = inputs[func.name]
+                box = required.get(func.name)
+                if box is not None:
+                    for k, (lo, hi) in enumerate(box):
+                        if lo < 0 or hi > arr.shape[k] - 1:
+                            raise BoundsAssertion(
+                                f"input {func.name} dim {k}: inferred "
+                                f"bounds [{lo}, {hi}] exceed extent "
+                                f"{arr.shape[k]} (interval "
+                                "over-approximation)")
+                storage[func.name] = arr
+                offsets[func.name] = (0,) * arr.ndim
+                continue
+            box = required.get(func.name)
+            if box is None:
+                continue  # never used
+            lo = [int(np.floor(b[0])) for b in box]
+            hi = [int(np.ceil(b[1])) for b in box]
+            shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+            grids = np.meshgrid(*[np.arange(l, h + 1)
+                                  for l, h in zip(lo, hi)], indexing="ij")
+            env = {v.name: g for v, g in zip(func.vars, grids)}
+            storage[func.name] = self._eval(func.expr, env, storage,
+                                            offsets)
+            offsets[func.name] = tuple(lo)
+        return {out.name: storage[out.name] for out in self.outputs}
+
+    def _eval(self, expr: Expr, env, storage, offsets):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, IterVar):
+            return env[expr.name]
+        if isinstance(expr, BinOp):
+            a = self._eval(expr.lhs, env, storage, offsets)
+            b = self._eval(expr.rhs, env, storage, offsets)
+            ops = {"+": np.add, "-": np.subtract, "*": np.multiply,
+                   "/": np.divide, "//": np.floor_divide, "%": np.mod,
+                   "<": np.less, "<=": np.less_equal, ">": np.greater,
+                   ">=": np.greater_equal, "==": np.equal,
+                   "!=": np.not_equal,
+                   "and": np.logical_and, "or": np.logical_or}
+            return ops[expr.op](a, b)
+        if isinstance(expr, UnOp):
+            return -self._eval(expr.operand, env, storage, offsets)
+        if isinstance(expr, Call):
+            args = [self._eval(a, env, storage, offsets)
+                    for a in expr.args]
+            table = {"min": np.minimum, "max": np.maximum, "abs": np.abs,
+                     "sqrt": np.sqrt, "exp": np.exp, "log": np.log,
+                     "floor": np.floor, "pow": np.power}
+            if expr.fn == "clamp":
+                return np.clip(args[0], args[1], args[2])
+            return table[expr.fn](*args)
+        if isinstance(expr, Select):
+            return np.where(
+                self._eval(expr.cond, env, storage, offsets),
+                self._eval(expr.if_true, env, storage, offsets),
+                self._eval(expr.if_false, env, storage, offsets))
+        if isinstance(expr, Cast):
+            v = self._eval(expr.operand, env, storage, offsets)
+            return np.asarray(v).astype(expr.dtype.np_dtype)
+        if isinstance(expr, Access):
+            prod = expr.computation
+            idx = [np.asarray(self._eval(e, env, storage, offsets))
+                   for e in expr.indices]
+            arr = storage[prod.name]
+            off = offsets[prod.name]
+            index = tuple(np.asarray(i - o).astype(np.int64)
+                          for i, o in zip(idx, off))
+            return arr[index]
+        raise HalideError(f"cannot evaluate {expr!r}")

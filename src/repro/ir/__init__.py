@@ -1,0 +1,16 @@
+"""Expression IR, scalar types, and affine extraction."""
+
+from . import types
+from .affine import NonAffineError, expr_to_linexpr, is_affine, try_expr_to_linexpr
+from .expr import (Access, BinOp, BufferRead, Call, Cast, Const, Expr,
+                   IterVar, ParamRef, Select, UnOp, absolute, accesses_in,
+                   cast, clamp, exp, floor, log, maximum, minimum, pow_,
+                   select, sqrt, substitute_exprs, wrap)
+
+__all__ = [
+    "types", "NonAffineError", "expr_to_linexpr", "is_affine",
+    "try_expr_to_linexpr", "Access", "BinOp", "BufferRead", "Call", "Cast",
+    "Const", "Expr", "IterVar", "ParamRef", "Select", "UnOp", "absolute",
+    "accesses_in", "cast", "clamp", "exp", "floor", "log", "maximum",
+    "minimum", "pow_", "select", "sqrt", "substitute_exprs", "wrap",
+]

@@ -1,0 +1,71 @@
+"""Extraction of affine forms from expression trees.
+
+Bridges the expression IR (:mod:`repro.ir.expr`) and the polyhedral
+representation (:mod:`repro.isl`): index expressions and loop bounds are
+converted to :class:`~repro.isl.linexpr.LinExpr` when affine; non-affine
+indices (``clamp``, products of variables, data-dependent terms) raise
+:class:`NonAffineError` so callers can over-approximate, as Section V-B
+of the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.isl.linexpr import Dim, LinExpr
+
+from .expr import (Access, BinOp, Call, Cast, Const, Expr, IterVar, ParamRef,
+                   Select, UnOp)
+
+
+class NonAffineError(ValueError):
+    """The expression has no affine representation."""
+
+
+def expr_to_linexpr(expr: Expr, dims: Mapping[str, Dim]) -> LinExpr:
+    """Convert ``expr`` to a LinExpr over ``dims`` (name -> dim ref).
+
+    Raises :class:`NonAffineError` for anything outside the affine
+    fragment (the caller decides how to over-approximate).
+    """
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool) or not isinstance(expr.value, int):
+            raise NonAffineError(f"non-integer constant {expr.value!r}")
+        return LinExpr.constant(expr.value)
+    if isinstance(expr, (IterVar, ParamRef)):
+        if expr.name not in dims:
+            raise NonAffineError(f"unknown variable {expr.name!r}")
+        return LinExpr.dim(*dims[expr.name])
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return -expr_to_linexpr(expr.operand, dims)
+        raise NonAffineError(f"non-affine unary op {expr.op!r}")
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return (expr_to_linexpr(expr.lhs, dims)
+                    + expr_to_linexpr(expr.rhs, dims))
+        if expr.op == "-":
+            return (expr_to_linexpr(expr.lhs, dims)
+                    - expr_to_linexpr(expr.rhs, dims))
+        if expr.op == "*":
+            lhs = expr_to_linexpr(expr.lhs, dims)
+            rhs = expr_to_linexpr(expr.rhs, dims)
+            if lhs.is_constant():
+                return rhs * int(lhs.const)
+            if rhs.is_constant():
+                return lhs * int(rhs.const)
+            raise NonAffineError("product of two variables")
+        raise NonAffineError(f"non-affine operator {expr.op!r}")
+    raise NonAffineError(f"non-affine expression {expr!r}")
+
+
+def try_expr_to_linexpr(expr: Expr,
+                        dims: Mapping[str, Dim]) -> Optional[LinExpr]:
+    try:
+        return expr_to_linexpr(expr, dims)
+    except NonAffineError:
+        return None
+
+
+def is_affine(expr: Expr, dims: Mapping[str, Dim]) -> bool:
+    return try_expr_to_linexpr(expr, dims) is not None

@@ -1,0 +1,96 @@
+"""Constant folding and algebraic simplification of expression trees.
+
+Applied by the backends before emission: Tiramisu's fixed-size
+specialization (Section VI-A) unrolls filter loops into long expression
+chains where ``x * 1``, ``x + 0`` and constant subtrees are common.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .expr import (Access, BinOp, BufferRead, Call, Cast, Const, Expr,
+                   IterVar, ParamRef, Select, UnOp)
+
+_FOLDABLE_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else None,
+    "//": lambda a, b: a // b if b != 0 else None,
+    "%": lambda a, b: a % b if b != 0 else None,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_FOLDABLE_CALLS = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+}
+
+
+def _const(node: Expr) -> Optional[object]:
+    if isinstance(node, Const):
+        return node.value
+    return None
+
+
+def fold(expr: Expr) -> Expr:
+    """Return an equivalent expression with constants folded and
+    identity operations removed."""
+    expr = expr.map_children(fold)
+    if isinstance(expr, BinOp):
+        lhs, rhs = _const(expr.lhs), _const(expr.rhs)
+        if lhs is not None and rhs is not None \
+                and expr.op in _FOLDABLE_OPS:
+            value = _FOLDABLE_OPS[expr.op](lhs, rhs)
+            if value is not None:
+                return Const(value)
+        # Identity / absorbing elements.
+        if expr.op == "+":
+            if lhs == 0:
+                return expr.rhs
+            if rhs == 0:
+                return expr.lhs
+        elif expr.op == "-":
+            if rhs == 0:
+                return expr.lhs
+        elif expr.op == "*":
+            if lhs == 1:
+                return expr.rhs
+            if rhs == 1:
+                return expr.lhs
+            if lhs == 0 or rhs == 0:
+                return Const(0.0 if isinstance(lhs if lhs is not None
+                                               else rhs, float) else 0)
+        elif expr.op in ("/", "//") and rhs == 1:
+            return expr.lhs
+        return expr
+    if isinstance(expr, UnOp) and expr.op == "-":
+        value = _const(expr.operand)
+        if value is not None:
+            return Const(-value)
+        return expr
+    if isinstance(expr, Call) and expr.fn in _FOLDABLE_CALLS:
+        values = [_const(a) for a in expr.args]
+        if all(v is not None for v in values):
+            return Const(_FOLDABLE_CALLS[expr.fn](*values))
+        return expr
+    if isinstance(expr, Select):
+        cond = _const(expr.cond)
+        if cond is not None:
+            return expr.if_true if cond else expr.if_false
+        return expr
+    if isinstance(expr, Cast):
+        value = _const(expr.operand)
+        if value is not None and not expr.dtype.is_float:
+            return Const(int(value))
+        if value is not None and expr.dtype.is_float:
+            return Const(float(value))
+        return expr
+    return expr

@@ -1,0 +1,46 @@
+"""Primitive scalar types, mapped onto NumPy dtypes for execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A primitive element type (the `p_*` types of the Tiramisu API)."""
+
+    name: str
+    np_dtype: str
+    is_float: bool
+    bits: int
+
+    def to_numpy(self):
+        return np.dtype(self.np_dtype)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+int8 = ScalarType("int8", "int8", False, 8)
+int16 = ScalarType("int16", "int16", False, 16)
+int32 = ScalarType("int32", "int32", False, 32)
+int64 = ScalarType("int64", "int64", False, 64)
+uint8 = ScalarType("uint8", "uint8", False, 8)
+uint16 = ScalarType("uint16", "uint16", False, 16)
+uint32 = ScalarType("uint32", "uint32", False, 32)
+uint64 = ScalarType("uint64", "uint64", False, 64)
+float32 = ScalarType("float32", "float32", True, 32)
+float64 = ScalarType("float64", "float64", True, 64)
+boolean = ScalarType("bool", "bool", False, 1)
+
+BY_NAME = {t.name: t for t in (int8, int16, int32, int64, uint8, uint16,
+                               uint32, uint64, float32, float64, boolean)}
+
+
+def from_name(name: str) -> ScalarType:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown scalar type {name!r}") from None

@@ -1,0 +1,109 @@
+"""Enumeration of the integer points of bounded sets.
+
+Used by tests (codegen visits each point exactly once), by the executor's
+reference interpreter, and by counting helpers.  Enumeration is recursive:
+for each dimension the rational bounds given the outer dims are computed
+by Fourier-Motzkin elimination of the inner dims; rational slack is
+filtered at the leaves by re-checking the original constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .basic import BasicMap, BasicSet
+from .constraint import Constraint
+from .fourier_motzkin import bounds_on_dim, eliminate_dims
+from .linexpr import DIV, OUT, PARAM, Dim, LinExpr
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b
+
+
+class _Enumerator:
+    def __init__(self, bset: BasicMap, param_vals: Mapping[str, int]):
+        self.n_out = bset.space.n(OUT)
+        self.n_div = bset.n_div
+        # Substitute parameter values.
+        cons = list(bset.constraints)
+        for i, p in enumerate(bset.space.params):
+            if p not in param_vals:
+                if any(c.involves((PARAM, i)) for c in cons):
+                    raise ValueError(f"parameter {p} needs a value")
+                continue
+            cons = [c.substitute((PARAM, i),
+                                 LinExpr.constant(param_vals[p]))
+                    for c in cons]
+        self.original = cons
+        self.order: List[Dim] = [(OUT, k) for k in range(self.n_out)]
+        self.order += [(DIV, k) for k in range(self.n_div)]
+        # Level k: constraints with dims order[k+1:] eliminated.
+        self.levels: List[List[Constraint]] = []
+        current = cons
+        systems = [current]
+        for dim in reversed(self.order):
+            current = eliminate_dims(current, [dim])
+            systems.append(current)
+        systems.reverse()
+        # systems[k] has only dims order[:k]; bounds for order[k] come
+        # from systems[k+1].
+        self.systems = systems
+
+    def feasible_globally(self) -> bool:
+        return all(not c.is_trivially_false() for c in self.systems[0])
+
+    def points(self) -> Iterator[Tuple[int, ...]]:
+        if not self.feasible_globally():
+            return
+        seen = set()
+        for full in self._rec(0, {}):
+            pt = full[:self.n_out]
+            if pt not in seen:
+                seen.add(pt)
+                yield pt
+
+    def _rec(self, level: int, values: Dict[Dim, int]
+             ) -> Iterator[Tuple[int, ...]]:
+        if level == len(self.order):
+            if all(c.satisfied_by(values) for c in self.original):
+                yield tuple(values[d] for d in self.order)
+            return
+        dim = self.order[level]
+        lowers, uppers = bounds_on_dim(self.systems[level + 1], dim)
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for a, e in lowers:
+            val = _ceil_div(int(e.evaluate(values)), a)
+            lo = val if lo is None else max(lo, val)
+        for b, f in uppers:
+            val = _floor_div(int(f.evaluate(values)), b)
+            hi = val if hi is None else min(hi, val)
+        if lo is None or hi is None:
+            raise ValueError(
+                f"dimension {dim} is unbounded; cannot enumerate")
+        for v in range(lo, hi + 1):
+            values[dim] = v
+            yield from self._rec(level + 1, values)
+        values.pop(dim, None)
+
+
+def points(bset, param_vals: Mapping[str, int] = ()) -> Iterator[Tuple[int, ...]]:
+    """Iterate over the integer points of a (union of) basic set(s)."""
+    param_vals = dict(param_vals)
+    pieces = bset.pieces if hasattr(bset, "pieces") else [bset]
+    seen = set()
+    for piece in pieces:
+        for pt in _Enumerator(piece, param_vals).points():
+            if pt not in seen:
+                seen.add(pt)
+                yield pt
+
+
+def count(bset, param_vals: Mapping[str, int] = ()) -> int:
+    """Number of integer points (bounded sets only)."""
+    return sum(1 for __ in points(bset, param_vals))

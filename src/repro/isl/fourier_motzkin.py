@@ -1,0 +1,145 @@
+"""Fourier-Motzkin elimination over affine constraints.
+
+FM is exact for *rational* feasibility and yields the rational shadow of a
+projection.  The integer-exact counterpart (dark shadows and splinters)
+lives in :mod:`repro.isl.omega`; codegen uses the rational shadow because
+loop bounds are emitted with explicit ceil/floor divisions, which restores
+integer exactness at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .constraint import EQ, GE, Constraint
+from .linexpr import Dim, LinExpr
+
+
+def _substitute_equality(constraints: Sequence[Constraint], dim: Dim,
+                         eq: Constraint) -> List[Constraint]:
+    """Use equality ``a*dim + e = 0`` to remove ``dim`` everywhere else.
+
+    Keeps rational exactness by cross-multiplying: a constraint
+    ``c*dim + f (op) 0`` becomes ``|a|*f - sign(a)*c*e (op) 0``.
+    """
+    a = int(eq.expr.coeff(dim))
+    e = eq.expr - LinExpr.dim(dim[0], dim[1], a)
+    out: List[Constraint] = []
+    for c in constraints:
+        if c is eq:
+            continue
+        coeff = int(c.expr.coeff(dim))
+        if coeff == 0:
+            out.append(c)
+            continue
+        rest = c.expr - LinExpr.dim(dim[0], dim[1], coeff)
+        # c.expr = coeff*dim + rest ; dim = -e/a
+        new_expr = rest * abs(a) - e * coeff * (1 if a > 0 else -1)
+        out.append(Constraint(c.kind, new_expr))
+    return out
+
+
+def eliminate_dim(constraints: Sequence[Constraint],
+                  dim: Dim) -> List[Constraint]:
+    """Eliminate one dimension, returning the rational shadow."""
+    involved_eqs = [c for c in constraints
+                    if c.kind == EQ and c.involves(dim)]
+    if involved_eqs:
+        return _substitute_equality(constraints, dim, involved_eqs[0])
+    lowers: List[Tuple[int, LinExpr]] = []   # a*dim >= -e  (a > 0)
+    uppers: List[Tuple[int, LinExpr]] = []   # b*dim <= f   (b > 0)
+    others: List[Constraint] = []
+    for c in constraints:
+        coeff = int(c.expr.coeff(dim))
+        if coeff == 0:
+            others.append(c)
+        elif coeff > 0:
+            # coeff*dim + rest >= 0  =>  coeff*dim >= -rest
+            rest = c.expr - LinExpr.dim(dim[0], dim[1], coeff)
+            lowers.append((coeff, -rest))
+        else:
+            rest = c.expr - LinExpr.dim(dim[0], dim[1], coeff)
+            uppers.append((-coeff, rest))
+    for a, lo in lowers:
+        for b, up in uppers:
+            # a*dim >= lo and b*dim <= up  =>  a*up - b*lo >= 0
+            others.append(Constraint.ge(up * a - lo * b))
+    return _prune(others)
+
+
+def eliminate_dims(constraints: Sequence[Constraint],
+                   dims: Iterable[Dim]) -> List[Constraint]:
+    cons = list(constraints)
+    for dim in dims:
+        cons = eliminate_dim(cons, dim)
+    return cons
+
+
+def _prune(constraints: Sequence[Constraint]) -> List[Constraint]:
+    """Drop tautologies and duplicates; keep the tightest of parallel
+    inequalities (same coefficients, different constants)."""
+    best: Dict[Tuple, Constraint] = {}
+    out: List[Constraint] = []
+    for c in constraints:
+        if c.is_trivially_true():
+            continue
+        if c.kind == EQ:
+            key = (EQ, tuple(c.expr.coeffs.items()), c.expr.const)
+            if key not in best:
+                best[key] = c
+            continue
+        key = (GE, tuple(c.expr.coeffs.items()))
+        prev = best.get(key)
+        # sum c_i x_i + k >= 0: smaller k is the tighter constraint.
+        if prev is None or c.expr.const < prev.expr.const:
+            best[key] = c
+    out = list(best.values())
+    return out
+
+
+def rational_feasible(constraints: Sequence[Constraint]) -> bool:
+    """Exact rational (LP) feasibility via full FM elimination."""
+    cons = _prune(constraints)
+    while True:
+        for c in cons:
+            if c.is_trivially_false():
+                return False
+        dims = set()
+        for c in cons:
+            dims.update(c.expr.dims())
+        if not dims:
+            return True
+        # Eliminate the dimension appearing in the fewest constraints to
+        # slow the quadratic blowup.
+        dim = min(dims, key=lambda d: sum(1 for c in cons if c.involves(d)))
+        cons = eliminate_dim(cons, dim)
+
+
+def bounds_on_dim(constraints: Sequence[Constraint], dim: Dim
+                  ) -> Tuple[List[Tuple[int, LinExpr]],
+                             List[Tuple[int, LinExpr]]]:
+    """Extract lower/upper bounds on ``dim``.
+
+    Returns ``(lowers, uppers)`` where each lower is ``(a, e)`` meaning
+    ``a*dim >= e`` (``a > 0``) and each upper is ``(b, f)`` meaning
+    ``b*dim <= f``.  Equalities contribute to both sides.
+    """
+    lowers: List[Tuple[int, LinExpr]] = []
+    uppers: List[Tuple[int, LinExpr]] = []
+    for c in constraints:
+        coeff = int(c.expr.coeff(dim))
+        if coeff == 0:
+            continue
+        rest = c.expr - LinExpr.dim(dim[0], dim[1], coeff)
+        if c.kind == EQ:
+            if coeff > 0:
+                lowers.append((coeff, -rest))
+                uppers.append((coeff, -rest))
+            else:
+                lowers.append((-coeff, rest))
+                uppers.append((-coeff, rest))
+        elif coeff > 0:
+            lowers.append((coeff, -rest))
+        else:
+            uppers.append((-coeff, rest))
+    return lowers, uppers

@@ -1,0 +1,126 @@
+"""Exact integer linear algebra: Hermite normal form and integer solving.
+
+Used by the Omega test (:mod:`repro.isl.omega`) to eliminate equality
+constraints exactly over the integers, replacing the classic (and fiddly)
+"mod-hat" substitution of Pugh's paper with a Hermite-normal-form solve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+Matrix = List[List[int]]
+
+
+def identity_matrix(n: int) -> Matrix:
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+
+def column_hnf(a: Matrix) -> Tuple[Matrix, Matrix]:
+    """Column-style Hermite normal form.
+
+    Returns ``(h, u)`` with ``u`` unimodular (n x n) and ``h = a @ u`` in
+    column echelon form: processing rows top-down, each row's pivot column
+    holds a positive entry and all columns to its right are zero in that
+    row (and stay zero in later rows only through further column ops on
+    non-pivot columns).
+    """
+    m = len(a)
+    n = len(a[0]) if m else 0
+    h = [row[:] for row in a]
+    u = identity_matrix(n)
+    pivot_col = 0
+    for row in range(m):
+        if pivot_col >= n:
+            break
+        # Euclidean reduction across columns pivot_col..n-1 on this row.
+        while True:
+            nonzero = [j for j in range(pivot_col, n) if h[row][j] != 0]
+            if len(nonzero) <= 1:
+                break
+            # Pick the column with the smallest |entry| as the reducer.
+            jmin = min(nonzero, key=lambda j: abs(h[row][j]))
+            for j in nonzero:
+                if j == jmin:
+                    continue
+                q = h[row][j] // h[row][jmin]
+                if q:
+                    _col_axpy(h, j, jmin, -q)
+                    _col_axpy(u, j, jmin, -q)
+        nonzero = [j for j in range(pivot_col, n) if h[row][j] != 0]
+        if not nonzero:
+            continue
+        j = nonzero[0]
+        if j != pivot_col:
+            _col_swap(h, j, pivot_col)
+            _col_swap(u, j, pivot_col)
+        if h[row][pivot_col] < 0:
+            _col_scale(h, pivot_col, -1)
+            _col_scale(u, pivot_col, -1)
+        pivot_col += 1
+    return h, u
+
+
+def _col_axpy(mat: Matrix, dst: int, src: int, factor: int) -> None:
+    for row in mat:
+        row[dst] += factor * row[src]
+
+
+def _col_swap(mat: Matrix, j1: int, j2: int) -> None:
+    for row in mat:
+        row[j1], row[j2] = row[j2], row[j1]
+
+
+def _col_scale(mat: Matrix, j: int, factor: int) -> None:
+    for row in mat:
+        row[j] *= factor
+
+
+def solve_integer_system(
+        a: Matrix, b: List[int]
+) -> Optional[Tuple[List[int], List[List[int]]]]:
+    """Solve ``a @ x = b`` over the integers.
+
+    Returns ``None`` if there is no integer solution; otherwise a pair
+    ``(x0, basis)`` where ``x0`` is a particular solution and ``basis`` is
+    a list of integer vectors spanning the solution lattice
+    (``x = x0 + sum t_k * basis[k]`` for integer ``t_k``).
+    """
+    m = len(a)
+    n = len(a[0]) if m else 0
+    if m == 0:
+        return [0] * n, [list(row) for row in identity_matrix(n)]
+    h, u = column_hnf(a)
+    # Determine pivot columns: column j is a pivot if it has a nonzero
+    # entry in some row whose earlier columns in that row are pivots.
+    # With our construction, pivots are exactly the first k columns where
+    # k is the column rank; find per-row pivot columns.
+    y = [None] * n  # type: List[Optional[int]]
+    pivot_cols = set()
+    for row in range(m):
+        # residual = b[row] - sum over known pivots
+        resid = b[row]
+        lead = None
+        for j in range(n):
+            if h[row][j] == 0:
+                continue
+            if j in pivot_cols:
+                resid -= h[row][j] * y[j]
+            elif lead is None:
+                lead = j
+            else:
+                # Should not happen in echelon form.
+                raise AssertionError("matrix not in echelon form")
+        if lead is None:
+            if resid != 0:
+                return None
+            continue
+        if resid % h[row][lead] != 0:
+            return None
+        y[lead] = resid // h[row][lead]
+        pivot_cols.add(lead)
+    free_cols = [j for j in range(n) if j not in pivot_cols]
+    y0 = [y[j] if j in pivot_cols else 0 for j in range(n)]
+    x0 = [sum(u[i][j] * y0[j] for j in range(n)) for i in range(n)]
+    basis = [[u[i][j] for i in range(n)] for j in free_cols]
+    return x0, basis

@@ -1,0 +1,492 @@
+"""Parser for (a practical subset of) the ISL set/map notation.
+
+Supported syntax::
+
+    [N, M] -> { S[i, j] -> T[i + 1, 2j] : 0 <= i < N and exists e : j = 2e }
+    { S[i, j] : 0 <= i, j < N or i = j }
+    { [i] -> [floor(i/4)] }
+    { S[i] : i % 2 = 0 }
+
+Features: symbolic parameters, named tuples, expression outputs (which add
+equality constraints), chained comparisons, ``and`` / ``or`` (DNF-expanded
+into a union of basic pieces), ``exists`` quantifiers, ``floor(e/c)``,
+``e % c`` and ``e mod c`` (both introduce existential division dims), and
+``true`` / ``false`` literals.  Multiple pieces may be separated by ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .basic import BasicMap, BasicSet
+from .constraint import Constraint
+from .linexpr import DIV, IN, OUT, PARAM, Dim, LinExpr
+from .space import Space
+from .union import Map, Set
+
+_TOKEN_RE = re.compile(r"""
+    (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9']*)
+  | (?P<op><=|>=|->|!=|[-+*/%(){}\[\],;:=<>])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_KEYWORDS = {"and", "or", "exists", "mod", "floor", "true", "false", "min",
+             "max", "not"}
+
+
+class ParseError(ValueError):
+    pass
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, m.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# Boolean expression tree used before DNF expansion.
+class _And:
+    def __init__(self, parts):
+        self.parts = parts
+
+
+class _Or:
+    def __init__(self, parts):
+        self.parts = parts
+
+
+class _Atom:
+    def __init__(self, constraints):
+        self.constraints = constraints  # a conjunction of Constraints
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.params: List[str] = []
+        self.in_dims: List[str] = []
+        self.out_dims: List[str] = []
+        self.in_name: Optional[str] = None
+        self.out_name: Optional[str] = None
+        self.is_map = False
+        self.n_div = 0
+        self.scope: Dict[str, Dim] = {}
+        self.tuple_constraints: List[Constraint] = []
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, val = self.next()
+        if val != value:
+            raise ParseError(f"expected {value!r}, got {val!r}")
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.pos += 1
+            return True
+        return False
+
+    # -- entry point ------------------------------------------------------
+
+    def parse(self):
+        if self.peek()[1] == "[":
+            self._parse_params()
+            self.expect("->")
+        self.expect("{")
+        pieces: List[BasicMap] = []
+        first_space: Optional[Space] = None
+        if self.accept("}"):
+            raise ParseError("empty braces: use a 'false' condition instead")
+        while True:
+            for piece in self._parse_piece():
+                pieces.append(piece)
+                if first_space is None:
+                    first_space = piece.space
+            if not self.accept(";"):
+                break
+        self.expect("}")
+        if self.peek()[0] != "eof":
+            raise ParseError(f"trailing input at {self.peek()[1]!r}")
+        space = first_space
+        cls = Map if space.is_map else Set
+        return cls(pieces, space)
+
+    def _parse_params(self) -> None:
+        self.expect("[")
+        if not self.accept("]"):
+            while True:
+                kind, name = self.next()
+                if kind != "name":
+                    raise ParseError(f"bad parameter name {name!r}")
+                self.params.append(name)
+                if not self.accept(","):
+                    break
+            self.expect("]")
+
+    # -- pieces -----------------------------------------------------------
+
+    def _parse_piece(self) -> List[BasicMap]:
+        # Reset per-piece dim state (params persist).
+        self.in_dims = []
+        self.out_dims = []
+        self.in_name = None
+        self.out_name = None
+        self.is_map = False
+        self.n_div = 0
+        self.scope = {(p): (PARAM, i) for i, p in enumerate(self.params)}
+        self.tuple_constraints = []
+
+        name1, dims1_exprs = self._parse_tuple(declare=True)
+        if self.accept("->"):
+            self.is_map = True
+            # First tuple was the input tuple: re-home its declarations.
+            self.in_name, self.in_dims = name1, self.out_dims
+            self.out_dims = []
+            remap = {}
+            for nm in list(self.scope):
+                kind, idx = self.scope[nm]
+                if kind == OUT:
+                    self.scope[nm] = (IN, idx)
+                    remap[(OUT, idx)] = (IN, idx)
+            self.tuple_constraints = [c.remap(remap)
+                                      for c in self.tuple_constraints]
+            self.out_name, __ = self._parse_tuple(declare=True)
+        else:
+            self.out_name = name1
+        tree: object = _Atom([])
+        if self.accept(":"):
+            tree = self._parse_bool_or()
+        # Snapshot AFTER parsing the condition: floor()/mod/div inside it
+        # append their defining constraints to tuple_constraints too.
+        constraints = list(self.tuple_constraints)
+        space = self._make_space()
+        conjunctions = _dnf(tree)
+        pieces = []
+        for conj in conjunctions:
+            if conj is None:  # 'false'
+                continue
+            cls = BasicMap if self.is_map else BasicSet
+            pieces.append(cls(space, constraints + conj, self.n_div))
+        if not pieces:
+            cls = BasicMap if self.is_map else BasicSet
+            pieces.append(cls(space, constraints
+                              + [Constraint.ge(LinExpr.constant(-1))],
+                              self.n_div))
+        return pieces
+
+    def _make_space(self) -> Space:
+        if self.is_map:
+            return Space.map_space(tuple(self.in_dims), tuple(self.out_dims),
+                                   self.in_name, self.out_name,
+                                   tuple(self.params))
+        return Space.set_space(tuple(self.out_dims), self.out_name,
+                               tuple(self.params))
+
+    def _parse_tuple(self, declare: bool):
+        name = None
+        if self.peek()[0] == "name" and self.peek()[1] not in _KEYWORDS:
+            name = self.next()[1]
+        self.expect("[")
+        entries = []
+        if not self.accept("]"):
+            while True:
+                entries.append(self._parse_tuple_entry())
+                if not self.accept(","):
+                    break
+            self.expect("]")
+        return name, entries
+
+    def _parse_tuple_entry(self):
+        """A tuple entry is either a fresh dim name or an expression, in
+        which case an anonymous dim plus an equality constraint is added."""
+        start = self.pos
+        kind, val = self.peek()
+        idx = len(self.out_dims)
+        if kind == "name" and val not in _KEYWORDS:
+            nxt = self.tokens[self.pos + 1][1]
+            if nxt in (",", "]") and val not in self.scope:
+                self.next()
+                self.out_dims.append(val)
+                self.scope[val] = (OUT, idx)
+                return val
+        # Expression entry (includes re-used names, adding an equality).
+        expr = self._parse_expr()
+        dim_name = f"_o{idx}"
+        while dim_name in self.scope:
+            dim_name += "'"
+        self.out_dims.append(dim_name)
+        self.tuple_constraints.append(
+            Constraint.eq(LinExpr.dim(OUT, idx) - expr))
+        return dim_name
+
+    # -- boolean conditions -----------------------------------------------
+
+    def _parse_bool_or(self):
+        parts = [self._parse_bool_and()]
+        while self.accept("or"):
+            parts.append(self._parse_bool_and())
+        return parts[0] if len(parts) == 1 else _Or(parts)
+
+    def _parse_bool_and(self):
+        parts = [self._parse_bool_atom()]
+        while self.accept("and"):
+            parts.append(self._parse_bool_atom())
+        return parts[0] if len(parts) == 1 else _And(parts)
+
+    def _parse_bool_atom(self):
+        if self.accept("("):
+            tree = self._parse_bool_or()
+            self.expect(")")
+            return tree
+        if self.accept("true"):
+            return _Atom([])
+        if self.accept("false"):
+            return _Atom(None)
+        if self.accept("exists"):
+            opened = self.accept("(")
+            names = []
+            while True:
+                kind, nm = self.next()
+                if kind != "name":
+                    raise ParseError(f"bad existential name {nm!r}")
+                names.append(nm)
+                if not self.accept(","):
+                    break
+            self.expect(":")
+            saved = {}
+            for nm in names:
+                saved[nm] = self.scope.get(nm)
+                self.scope[nm] = (DIV, self.n_div)
+                self.n_div += 1
+            body = self._parse_bool_or()
+            if opened:
+                self.expect(")")
+            for nm in names:
+                if saved[nm] is None:
+                    del self.scope[nm]
+                else:
+                    self.scope[nm] = saved[nm]
+            return body
+        return self._parse_comparison_chain()
+
+    def _parse_comparison_chain(self):
+        exprs = [self._parse_expr_list()]
+        ops: List[str] = []
+        while self.peek()[1] in ("<", "<=", ">", ">=", "=", "!="):
+            ops.append(self.next()[1])
+            exprs.append(self._parse_expr_list())
+        if not ops:
+            raise ParseError(f"expected comparison near {self.peek()[1]!r}")
+        constraints: List[Constraint] = []
+        ors: List[_Or] = []
+        for (lhs_list, op, rhs_list) in zip(exprs, ops, exprs[1:]):
+            for lhs in lhs_list:
+                for rhs in rhs_list:
+                    if op == "<=":
+                        constraints.append(Constraint.ge(rhs - lhs))
+                    elif op == "<":
+                        constraints.append(Constraint.ge(rhs - lhs - 1))
+                    elif op == ">=":
+                        constraints.append(Constraint.ge(lhs - rhs))
+                    elif op == ">":
+                        constraints.append(Constraint.ge(lhs - rhs - 1))
+                    elif op == "=":
+                        constraints.append(Constraint.eq(lhs - rhs))
+                    elif op == "!=":
+                        # (lhs < rhs) or (lhs > rhs): defer to DNF.
+                        ors.append(_Or([
+                            _Atom([Constraint.ge(rhs - lhs - 1)]),
+                            _Atom([Constraint.ge(lhs - rhs - 1)])]))
+        if ors:
+            return _And([_Atom(constraints)] + ors)
+        return _Atom(constraints)
+
+    def _parse_expr_list(self) -> List[LinExpr]:
+        """Comma-separated expressions, enabling ``0 <= i, j < N``."""
+        exprs = [self._parse_expr()]
+        while self.accept(","):
+            exprs.append(self._parse_expr())
+        return exprs
+
+    # -- affine expressions -------------------------------------------------
+
+    def _parse_expr(self, stop_div: bool = False) -> LinExpr:
+        expr = self._parse_term(stop_div)
+        while self.peek()[1] in ("+", "-"):
+            op = self.next()[1]
+            term = self._parse_term(stop_div)
+            expr = expr + term if op == "+" else expr - term
+        return expr
+
+    def _parse_term(self, stop_div: bool = False) -> LinExpr:
+        factor = self._parse_unary()
+        while True:
+            nxt = self.peek()[1]
+            if nxt == "/" and stop_div:
+                return factor
+            if nxt == "*":
+                self.next()
+                rhs = self._parse_unary()
+                factor = _affine_mul(factor, rhs)
+            elif nxt in ("%", "mod"):
+                self.next()
+                rhs = self._parse_unary()
+                if not rhs.is_constant():
+                    raise ParseError("modulo by non-constant")
+                factor = self._make_mod(factor, int(rhs.const))
+            elif nxt == "/":
+                self.next()
+                rhs = self._parse_unary()
+                if not rhs.is_constant():
+                    raise ParseError("division by non-constant")
+                factor = self._make_exact_div(factor, int(rhs.const))
+            elif self.peek()[0] in ("num", "name") and \
+                    self.peek()[1] not in _KEYWORDS | {"and", "or"}:
+                # Implicit multiplication: "2j" / "2 j" / "N j".
+                rhs = self._parse_unary()
+                factor = _affine_mul(factor, rhs)
+            else:
+                return factor
+
+    def _parse_unary(self) -> LinExpr:
+        kind, val = self.peek()
+        if val == "-":
+            self.next()
+            return -self._parse_unary()
+        if val == "+":
+            self.next()
+            return self._parse_unary()
+        if val == "(":
+            self.next()
+            expr = self._parse_expr()
+            self.expect(")")
+            return expr
+        if val == "floor":
+            self.next()
+            self.expect("(")
+            num = self._parse_expr(stop_div=True)
+            self.expect("/")
+            den = self._parse_expr()
+            self.expect(")")
+            if not den.is_constant():
+                raise ParseError("floor() denominator must be constant")
+            return self._make_floor(num, int(den.const))
+        if kind == "num":
+            self.next()
+            return LinExpr.constant(int(val))
+        if kind == "name":
+            self.next()
+            if val in self.scope:
+                k, i = self.scope[val]
+                return LinExpr.dim(k, i)
+            # Unknown names become new parameters (ISL-style tolerance).
+            self.params.append(val)
+            dim = (PARAM, len(self.params) - 1)
+            self.scope[val] = dim
+            return LinExpr.dim(*dim)
+        raise ParseError(f"unexpected token {val!r} in expression")
+
+    # -- divisions ----------------------------------------------------------
+
+    def _make_floor(self, num: LinExpr, den: int) -> LinExpr:
+        if den <= 0:
+            raise ParseError("floor() denominator must be positive")
+        q = (DIV, self.n_div)
+        self.n_div += 1
+        qe = LinExpr.dim(*q)
+        # den*q <= num <= den*q + den - 1
+        self.tuple_constraints.append(Constraint.ge(num - qe * den))
+        self.tuple_constraints.append(
+            Constraint.ge(qe * den + (den - 1) - num))
+        return qe
+
+    def _make_mod(self, expr: LinExpr, mod: int) -> LinExpr:
+        if mod <= 0:
+            raise ParseError("modulo must be positive")
+        return expr - self._make_floor(expr, mod) * mod
+
+    def _make_exact_div(self, expr: LinExpr, den: int) -> LinExpr:
+        """ISL's `/` on integers requires exact division."""
+        if den == 0:
+            raise ParseError("division by zero")
+        q = (DIV, self.n_div)
+        self.n_div += 1
+        qe = LinExpr.dim(*q)
+        self.tuple_constraints.append(Constraint.eq(expr - qe * den))
+        return qe
+
+
+def _affine_mul(a: LinExpr, b: LinExpr) -> LinExpr:
+    if a.is_constant():
+        return b * int(a.const)
+    if b.is_constant():
+        return a * int(b.const)
+    raise ParseError("non-affine product of two variables")
+
+
+def _dnf(tree) -> List[Optional[List[Constraint]]]:
+    """Expand a boolean tree into a list of conjunctions.
+
+    Each conjunction is a list of constraints; ``None`` marks 'false'.
+    """
+    if isinstance(tree, _Atom):
+        return [list(tree.constraints) if tree.constraints is not None
+                else None]
+    if isinstance(tree, _Or):
+        out: List[Optional[List[Constraint]]] = []
+        for part in tree.parts:
+            out.extend(_dnf(part))
+        return [c for c in out if c is not None] or [None]
+    if isinstance(tree, _And):
+        result: List[Optional[List[Constraint]]] = [[]]
+        for part in tree.parts:
+            expanded = _dnf(part)
+            new_result = []
+            for left in result:
+                for right in expanded:
+                    if left is None or right is None:
+                        continue
+                    new_result.append(left + right)
+            result = new_result or [None]
+        return result
+    raise AssertionError(f"bad boolean node {tree!r}")
+
+
+def parse(text: str):
+    """Parse ISL notation into a :class:`Set` or :class:`Map`."""
+    return _Parser(text).parse()
+
+
+def parse_set(text: str) -> Set:
+    result = parse(text)
+    if not isinstance(result, Set):
+        raise ParseError("expected a set, parsed a map")
+    return result
+
+
+def parse_map(text: str) -> Map:
+    result = parse(text)
+    if isinstance(result, Set):
+        raise ParseError("expected a map, parsed a set")
+    return result

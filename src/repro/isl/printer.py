@@ -1,0 +1,75 @@
+"""Pretty-printing of sets and maps in ISL notation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .constraint import EQ, Constraint
+from .linexpr import DIV, IN, OUT, PARAM, LinExpr
+
+
+def _dim_label(bmap, kind: str, idx: int) -> str:
+    if kind == DIV:
+        return f"e{idx}"
+    return bmap.space.dim_name(kind, idx)
+
+
+def expr_to_str(bmap, expr: LinExpr) -> str:
+    parts: List[str] = []
+    for (kind, idx), c in expr.coeffs.items():
+        name = _dim_label(bmap, kind, idx)
+        c = int(c)
+        if c == 1:
+            term = name
+        elif c == -1:
+            term = f"-{name}"
+        else:
+            term = f"{c}{name}"
+        parts.append(term)
+    if expr.const or not parts:
+        parts.append(str(int(expr.const)))
+    out = parts[0]
+    for term in parts[1:]:
+        if term.startswith("-"):
+            out += f" - {term[1:]}"
+        else:
+            out += f" + {term}"
+    return out
+
+
+def constraint_to_str(bmap, c: Constraint) -> str:
+    # Present as lhs >= rhs / lhs = rhs, moving negative terms right.
+    pos = LinExpr({d: v for d, v in c.expr.coeffs.items() if v > 0})
+    neg = LinExpr({d: -v for d, v in c.expr.coeffs.items() if v < 0})
+    const = int(c.expr.const)
+    if const > 0:
+        pos = pos + const
+    elif const < 0:
+        neg = neg + (-const)
+    op = "=" if c.kind == EQ else ">="
+    return f"{expr_to_str(bmap, pos)} {op} {expr_to_str(bmap, neg)}"
+
+
+def to_str(bmap) -> str:
+    sp = bmap.space
+    prefix = f"[{', '.join(sp.params)}] -> " if sp.params else ""
+    out_tuple = f"{sp.out_name or ''}[{', '.join(sp.out_dims)}]"
+    if sp.is_map:
+        in_tuple = f"{sp.in_name or ''}[{', '.join(sp.in_dims)}]"
+        head = f"{in_tuple} -> {out_tuple}"
+    else:
+        head = out_tuple
+    body_parts = [constraint_to_str(bmap, c) for c in bmap.constraints]
+    if bmap.n_div:
+        divs = ", ".join(f"e{k}" for k in range(bmap.n_div))
+        body = " and ".join(body_parts) if body_parts else "true"
+        return f"{prefix}{{ {head} : exists {divs} : {body} }}"
+    if body_parts:
+        return f"{prefix}{{ {head} : {' and '.join(body_parts)} }}"
+    return f"{prefix}{{ {head} }}"
+
+
+def union_to_str(pieces) -> str:
+    if not pieces:
+        return "{ }"
+    return "; ".join(to_str(p) for p in pieces)

@@ -1,0 +1,56 @@
+"""Constraint-system simplification: redundancy removal and gist."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .basic import BasicMap
+from .constraint import EQ, GE, Constraint
+from .fourier_motzkin import rational_feasible
+from .linexpr import LinExpr
+
+
+def _implied(system: Sequence[Constraint], c: Constraint) -> bool:
+    """True if ``c`` is rationally implied by ``system`` (safe direction:
+    a rationally-implied constraint is integer-implied as well)."""
+    if c.kind == EQ:
+        return (_implied(system, Constraint.ge(c.expr))
+                and _implied(system, Constraint.ge(-c.expr)))
+    # system and not(e >= 0), i.e. system and -e - 1 >= 0 infeasible?
+    return not rational_feasible(list(system) + [Constraint.ge(-c.expr - 1)])
+
+
+def remove_redundant(bmap: BasicMap) -> BasicMap:
+    """Drop constraints implied by the remaining ones."""
+    kept: List[Constraint] = []
+    cons = list(bmap.constraints)
+    # De-duplicate first.
+    uniq: List[Constraint] = []
+    for c in cons:
+        if c.is_trivially_true():
+            continue
+        if c not in uniq:
+            uniq.append(c)
+    for i, c in enumerate(uniq):
+        rest = kept + uniq[i + 1:]
+        if not _implied(rest, c):
+            kept.append(c)
+    return bmap.copy_with(constraints=kept)
+
+
+def gist(bmap: BasicMap, context: BasicMap) -> BasicMap:
+    """Simplify ``bmap`` under the assumption that ``context`` holds:
+    drop constraints of ``bmap`` implied by ``context`` + the rest."""
+    params = bmap.space.aligned_params(context.space)
+    bmap = bmap.align_params(params)
+    context = context.align_params(params)
+    kept: List[Constraint] = []
+    own = list(bmap.constraints)
+    # Shift context divs clear of bmap's so the combined system is sound.
+    shift = {("d", k): ("d", k + bmap.n_div) for k in range(context.n_div)}
+    ctx = [c.remap(shift) for c in context.constraints]
+    for i, c in enumerate(own):
+        rest = kept + own[i + 1:] + ctx
+        if not _implied(rest, c):
+            kept.append(c)
+    return bmap.copy_with(constraints=kept)

@@ -1,0 +1,55 @@
+"""Common infrastructure for the benchmark kernels (paper Section VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class KernelBundle:
+    """A benchmark: a freshly-built Tiramisu function plus its reference.
+
+    ``function`` is mutable (schedules are applied in place), so builders
+    construct a new bundle per experiment.
+    """
+
+    name: str
+    function: object                       # repro.core.Function
+    computations: Dict[str, object]        # name -> Computation
+    make_inputs: Callable[[Dict[str, int], np.random.Generator],
+                          Dict[str, np.ndarray]]
+    reference: Callable[[Dict[str, np.ndarray], Dict[str, int]],
+                        Dict[str, np.ndarray]]
+    paper_params: Dict[str, int] = field(default_factory=dict)
+    test_params: Dict[str, int] = field(default_factory=dict)
+    packed_buffers: List[str] = field(default_factory=list)
+
+    def compile_and_run(self, params: Optional[Dict[str, int]] = None,
+                        target: str = "cpu", seed: int = 0):
+        """Convenience: build inputs, run, return (outputs, expected)."""
+        params = dict(params or self.test_params)
+        rng = np.random.default_rng(seed)
+        inputs = self.make_inputs(params, rng)
+        # Reference first, on pristine copies: kernels with INOUT buffers
+        # (e.g. edgeDetector) mutate their inputs in place.
+        expected = self.reference(
+            {k: np.copy(v) for k, v in inputs.items()}, params)
+        kernel = self.function.compile(target)
+        got = kernel(**inputs, **params)
+        return got, expected
+
+    def verify(self, params: Optional[Dict[str, int]] = None,
+               target: str = "cpu", atol: float = 1e-4,
+               seed: int = 0) -> bool:
+        got, expected = self.compile_and_run(params, target, seed)
+        for name, ref in expected.items():
+            if name not in got:
+                raise AssertionError(
+                    f"{self.name}: missing output {name!r}; got "
+                    f"{sorted(got)}")
+            if not np.allclose(got[name], ref, atol=atol, rtol=1e-4):
+                return False
+        return True

@@ -1,0 +1,209 @@
+"""Deep learning benchmarks of paper Section VI-A: Conv and VGG.
+
+Conv: a direct neural-network convolution layer (NCHW), with the filter
+size fixed at compile time — the specialization the paper credits for
+beating Intel MKL ("this allows Tiramisu to unroll the innermost
+(convolution filter) loops since their size is known at compile time").
+VGG: a block of two convolutions with ReLU, where Tiramisu fuses the two
+convolution loop nests (2.3x over MKL in the paper).
+
+Paper sizes: 512x512 input, 16 input/output features, batch 32.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.ir import maximum
+
+from .base import KernelBundle
+
+PAPER_CONV = {"B": 32, "F": 16, "N": 512, "M": 512}
+TEST_CONV = {"B": 2, "F": 3, "N": 10, "M": 9}
+
+
+def _conv_reference(img, w, bias):
+    """Direct KxK valid convolution, NCHW, float32."""
+    b, fi, n, m = img.shape
+    fo, fi2, kk, _ = w.shape
+    out = np.zeros((b, fo, n - kk + 1, m - kk + 1), np.float32)
+    for ky in range(kk):
+        for kx in range(kk):
+            # (B, FI, n', m') x (FO, FI) contraction
+            patch = img[:, :, ky:ky + out.shape[2], kx:kx + out.shape[3]]
+            out += np.einsum("bfnm,of->bonm", patch, w[:, :, ky, kx],
+                             dtype=np.float32, casting="same_kind")
+    return out + bias[None, :, None, None]
+
+
+def build_conv(filter_size: int = 3, relu: bool = False,
+               name: str = "conv") -> KernelBundle:
+    B, F, N, M = Param("B"), Param("F"), Param("N"), Param("M")
+    K = filter_size
+    f = Function(name, params=[B, F, N, M])
+    with f:
+        img = Input("img", [Var("_ib", 0, B), Var("_if", 0, F),
+                            Var("_in", 0, N), Var("_im", 0, M)])
+        w = Input("w", [Var("_wo", 0, F), Var("_wi", 0, F),
+                        Var("_wa", 0, K), Var("_wb", 0, K)])
+        bias = Input("bias", [Var("_bf", 0, F)])
+        b = Var("b", 0, B)
+        fo = Var("fo", 0, F)
+        y = Var("y", 0, N - K + 1)
+        x = Var("x", 0, M - K + 1)
+        out_buf = Buffer("out", [B, F, N - K + 1, M - K + 1])
+        init = Computation("init", [Var("b0", 0, B), Var("fo0", 0, F),
+                                    Var("y0", 0, N - K + 1),
+                                    Var("x0", 0, M - K + 1)], None)
+        init.set_expression(bias(Var("fo0", 0, F)))
+        init.store_in(out_buf, [Var("b0", 0, B), Var("fo0", 0, F),
+                                Var("y0", 0, N - K + 1),
+                                Var("x0", 0, M - K + 1)])
+        fi = Var("fi", 0, F)
+        acc = Computation("acc", [b, fo, y, x, fi], None)
+        # Fixed filter size: the ky/kx loops are fully unrolled into the
+        # expression (compile-time specialization, Section VI-A).
+        expr = acc(b, fo, y, x, fi)
+        for ky in range(K):
+            for kx in range(K):
+                expr = expr + img(b, fi, y + ky, x + kx) * w(fo, fi, ky, kx)
+        acc.set_expression(expr)
+        acc.store_in(out_buf, [b, fo, y, x])
+        acc.after(init, None)
+        comps = {"init": init, "acc": acc}
+        if relu:
+            br, fr = Var("br", 0, B), Var("fr", 0, F)
+            yr, xr = Var("yr", 0, N - K + 1), Var("xr", 0, M - K + 1)
+            relu_c = Computation("relu", [br, fr, yr, xr], None)
+            relu_c.set_expression(maximum(acc(br, fr, yr, xr, 0), 0.0))
+            relu_c.store_in(out_buf, [br, fr, yr, xr])
+            relu_c.after(acc, None)
+            comps["relu"] = relu_c
+
+    def reference(inputs, params):
+        out = _conv_reference(inputs["img"], inputs["w"], inputs["bias"])
+        if relu:
+            out = np.maximum(out, 0.0)
+        return {"out": out}
+
+    def make_inputs(p, rng):
+        return {
+            "img": rng.random((p["B"], p["F"], p["N"], p["M"]),
+                              ).astype(np.float32),
+            "w": (rng.random((p["F"], p["F"], K, K)) * 0.1
+                  ).astype(np.float32),
+            "bias": rng.random(p["F"]).astype(np.float32),
+        }
+
+    return KernelBundle(
+        name=name, function=f, computations=comps,
+        make_inputs=make_inputs, reference=reference,
+        paper_params=dict(PAPER_CONV), test_params=dict(TEST_CONV))
+
+
+def schedule_conv_cpu(bundle: KernelBundle) -> None:
+    """The paper's Conv schedule: parallel batch/feature, vectorized x,
+    unrolled (fixed-size) filter loops are already inlined."""
+    acc = bundle.computations["acc"]
+    init = bundle.computations["init"]
+    init.vectorize("x0", 8)
+    init.parallelize("b0")
+    # order: b fo y x fi -> b fo fi y x so x stays innermost & vector
+    acc.interchange("x", "fi")
+    acc.interchange("y", "fi")
+    acc.vectorize("x", 8)
+    acc.parallelize("b")
+
+
+def build_vgg_block() -> KernelBundle:
+    """Two 3x3 convolutions with ReLU between (a VGG block).  The
+    Tiramisu schedule fuses the two convolution loop nests for locality
+    (Section VI-A)."""
+    B, F, N, M = Param("B"), Param("F"), Param("N"), Param("M")
+    K = 3
+    f = Function("vgg", params=[B, F, N, M])
+    with f:
+        img = Input("img", [Var("_ib", 0, B), Var("_if", 0, F),
+                            Var("_in", 0, N), Var("_im", 0, M)])
+        w1 = Input("w1", [Var("_w1o", 0, F), Var("_w1i", 0, F),
+                          Var("_w1a", 0, K), Var("_w1b", 0, K)])
+        w2 = Input("w2", [Var("_w2o", 0, F), Var("_w2i", 0, F),
+                          Var("_w2a", 0, K), Var("_w2b", 0, K)])
+        N1, M1 = N - K + 1, M - K + 1       # conv1 output size
+        N2, M2 = N1 - K + 1, M1 - K + 1     # conv2 output size
+        buf1 = Buffer("mid", [B, F, N1, M1])
+        buf2 = Buffer("out", [B, F, N2, M2])
+
+        b1, f1 = Var("b1", 0, B), Var("f1", 0, F)
+        y1, x1 = Var("y1", 0, N1), Var("x1", 0, M1)
+        i1 = Var("i1f", 0, F)
+        c1 = Computation("conv1", [b1, f1, y1, x1, i1], None)
+        e1 = c1(b1, f1, y1, x1, i1)
+        for ky in range(K):
+            for kx in range(K):
+                e1 = e1 + img(b1, i1, y1 + ky, x1 + kx) * w1(f1, i1, ky, kx)
+        c1.set_expression(e1)
+        c1.store_in(buf1, [b1, f1, y1, x1])
+
+        br, fr = Var("br", 0, B), Var("fr", 0, F)
+        yr, xr = Var("yr", 0, N1), Var("xr", 0, M1)
+        relu1 = Computation("relu1", [br, fr, yr, xr], None)
+        relu1.set_expression(maximum(c1(br, fr, yr, xr, 0), 0.0))
+        relu1.store_in(buf1, [br, fr, yr, xr])
+        relu1.after(c1, None)
+
+        b2, f2 = Var("b2", 0, B), Var("f2", 0, F)
+        y2, x2 = Var("y2", 0, N2), Var("x2", 0, M2)
+        i2 = Var("i2f", 0, F)
+        c2 = Computation("conv2", [b2, f2, y2, x2, i2], None)
+        e2 = c2(b2, f2, y2, x2, i2)
+        for ky in range(K):
+            for kx in range(K):
+                e2 = e2 + relu1(b2, i2, y2 + ky, x2 + kx) * w2(f2, i2, ky, kx)
+        c2.set_expression(e2)
+        c2.store_in(buf2, [b2, f2, y2, x2])
+        c2.after(relu1, None)
+
+    def reference(inputs, params):
+        zero_bias = np.zeros(params["F"], np.float32)
+        mid = _conv_reference(inputs["img"], inputs["w1"], zero_bias)
+        mid = np.maximum(mid, 0.0)
+        out = _conv_reference(mid, inputs["w2"], zero_bias)
+        return {"out": out}
+
+    def make_inputs(p, rng):
+        return {
+            "img": rng.random((p["B"], p["F"], p["N"], p["M"]),
+                              ).astype(np.float32),
+            "w1": (rng.random((p["F"], p["F"], K, K)) * 0.1
+                   ).astype(np.float32),
+            "w2": (rng.random((p["F"], p["F"], K, K)) * 0.1
+                   ).astype(np.float32),
+        }
+
+    return KernelBundle(
+        name="vgg", function=f,
+        computations={"conv1": c1, "relu1": relu1, "conv2": c2},
+        make_inputs=make_inputs, reference=reference,
+        paper_params=dict(PAPER_CONV), test_params=dict(TEST_CONV))
+
+
+def schedule_vgg_fused(bundle: KernelBundle) -> None:
+    """Fuse conv1/relu1/conv2 at the batch loop for locality."""
+    c1 = bundle.computations["conv1"]
+    r1 = bundle.computations["relu1"]
+    c2 = bundle.computations["conv2"]
+    r1.after(c1, "b1")
+    c2.after(r1, "br")
+    for c in (c1, c2):
+        c.interchange("x" + c.name[-1], "i" + c.name[-1] + "f")
+        c.interchange("y" + c.name[-1], "i" + c.name[-1] + "f")
+        c.vectorize("x" + c.name[-1], 8)
+    r1.vectorize("xr", 8)
+    # The fused batch loop is parallel (tags must agree on fused loops).
+    c1.parallelize("b1")
+    r1.parallelize("br")
+    c2.parallelize("b2")

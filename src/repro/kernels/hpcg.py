@@ -1,0 +1,184 @@
+"""HPCG kernels (Section VI-A): the computational core of the
+multigrid-preconditioned conjugate gradient benchmark.
+
+Tiramisu expresses loop nests, not data-dependent while-loops, so — as in
+the paper's benchmark — the *kernels* of one CG iteration are Tiramisu
+functions: the 27-point structured SpMV, WAXPBY (w = alpha*x + beta*y),
+a dot product, and a symmetric Gauss-Seidel sweep (forward substitution
+over a structured grid — the wavefront/skewing showcase).  A Python
+driver composing full CG iterations lives in examples/hpcg_cg.py.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.ir import clamp
+
+from .base import KernelBundle
+
+PAPER_HPCG = {"G": 48}
+TEST_HPCG = {"G": 6}
+
+
+def _spmv27_reference(v, stencil):
+    g = v.shape[0]
+    out = np.zeros_like(v)
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                w = stencil[dz + 1, dy + 1, dx + 1]
+                zz = np.clip(np.arange(g) + dz, 0, g - 1)
+                yy = np.clip(np.arange(g) + dy, 0, g - 1)
+                xx = np.clip(np.arange(g) + dx, 0, g - 1)
+                out += w * v[zz][:, yy][:, :, xx]
+    return out
+
+
+def build_spmv27() -> KernelBundle:
+    """y = A x for the HPCG operator: 27-point stencil on a G^3 grid
+    (diagonal 26, off-diagonals -1 in real HPCG; here a weight input)."""
+    G = Param("G")
+    f = Function("spmv27", params=[G])
+    with f:
+        v = Input("v", [Var("_vz", 0, G), Var("_vy", 0, G),
+                        Var("_vx", 0, G)])
+        w = Input("w", [Var("_wz", 0, 3), Var("_wy", 0, 3),
+                        Var("_wx", 0, 3)])
+        z, y, x = Var("z", 0, G), Var("y", 0, G), Var("x", 0, G)
+        expr = None
+        for dz in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    term = v(clamp(z + dz, 0, G - 1),
+                             clamp(y + dy, 0, G - 1),
+                             clamp(x + dx, 0, G - 1)) * w(dz + 1, dy + 1,
+                                                          dx + 1)
+                    expr = term if expr is None else expr + term
+        out = Computation("Ax", [z, y, x], expr)
+
+    def reference(inputs, params):
+        return {"Ax": _spmv27_reference(inputs["v"], inputs["w"])}
+
+    def make_inputs(p, rng):
+        g = p["G"]
+        return {"v": rng.random((g, g, g)).astype(np.float32),
+                "w": rng.random((3, 3, 3)).astype(np.float32)}
+
+    return KernelBundle(
+        name="spmv27", function=f, computations={"Ax": out},
+        make_inputs=make_inputs, reference=reference,
+        paper_params=dict(PAPER_HPCG), test_params=dict(TEST_HPCG))
+
+
+def schedule_spmv_cpu(bundle: KernelBundle) -> None:
+    ax = bundle.computations["Ax"]
+    ax.vectorize("x", 8)
+    ax.parallelize("z")
+
+
+def build_waxpby(alpha: float = 1.0, beta: float = -0.5) -> KernelBundle:
+    N = Param("N")
+    f = Function("waxpby", params=[N])
+    with f:
+        x = Input("x", [Var("_x", 0, N)])
+        y = Input("y", [Var("_y", 0, N)])
+        i = Var("i", 0, N)
+        w = Computation("w", [i], x(i) * alpha + y(i) * beta)
+
+    def reference(inputs, params):
+        return {"w": (alpha * inputs["x"]
+                      + beta * inputs["y"]).astype(np.float32)}
+
+    return KernelBundle(
+        name="waxpby", function=f, computations={"w": w},
+        make_inputs=lambda p, rng: {
+            "x": rng.random(p["N"]).astype(np.float32),
+            "y": rng.random(p["N"]).astype(np.float32)},
+        reference=reference, paper_params={"N": 1060 ** 2},
+        test_params={"N": 97})
+
+
+def build_dot() -> KernelBundle:
+    """Reduction: r = sum x[i] * y[i] (contracted to a scalar buffer)."""
+    N = Param("N")
+    f = Function("dot", params=[N])
+    with f:
+        x = Input("x", [Var("_x", 0, N)])
+        y = Input("y", [Var("_y", 0, N)])
+        rbuf = Buffer("r", [1])
+        z = Computation("zero", [Var("u", 0, 1)], 0.0)
+        z.store_in(rbuf, [0])
+        i = Var("i", 0, N)
+        acc = Computation("acc", [i], None)
+        acc.set_expression(acc(i) + x(i) * y(i))
+        acc.store_in(rbuf, [0])
+        acc.after(z, None)
+
+    def reference(inputs, params):
+        return {"r": np.array(
+            [np.dot(inputs["x"].astype(np.float64),
+                    inputs["y"].astype(np.float64))], np.float32)}
+
+    return KernelBundle(
+        name="dot", function=f, computations={"zero": z, "acc": acc},
+        make_inputs=lambda p, rng: {
+            "x": rng.random(p["N"]).astype(np.float32),
+            "y": rng.random(p["N"]).astype(np.float32)},
+        reference=reference, paper_params={"N": 1060 ** 2},
+        test_params={"N": 151})
+
+
+def build_symgs_forward() -> KernelBundle:
+    """Forward Gauss-Seidel sweep on a 2D 5-point operator:
+
+        u(i, j) = (rhs(i,j) + u(i-1,j) + u(i,j-1)) / d
+
+    a loop nest with true dependences in both i and j — parallel only
+    after skewing (the wavefront schedule Table I's "all affine
+    transformations" row is about)."""
+    N = Param("N")
+    f = Function("symgs", params=[N])
+    with f:
+        rhs = Input("rhs", [Var("_r1", 0, N), Var("_r2", 0, N)])
+        ubuf = Buffer("u", [N, N])
+        i, j = Var("i", 1, N), Var("j", 1, N)
+        init = Computation("init", [Var("i0", 0, N), Var("j0", 0, N)], None)
+        init.set_expression(rhs(Var("i0", 0, N), Var("j0", 0, N)))
+        init.store_in(ubuf, [Var("i0", 0, N), Var("j0", 0, N)])
+        sweep = Computation("sweep", [i, j], None)
+        sweep.set_expression((rhs(i, j) + sweep(i - 1, j)
+                              + sweep(i, j - 1)) / 4.0)
+        sweep.store_in(ubuf, [i, j])
+        sweep.after(init, None)
+
+    def reference(inputs, params):
+        n = params["N"]
+        rhs_ = inputs["rhs"]
+        u = rhs_.astype(np.float32).copy()
+        for a in range(1, n):
+            for b in range(1, n):
+                u[a, b] = (rhs_[a, b] + u[a - 1, b] + u[a, b - 1]) / 4.0
+        return {"u": u}
+
+    return KernelBundle(
+        name="symgs", function=f,
+        computations={"init": init, "sweep": sweep},
+        make_inputs=lambda p, rng: {
+            "rhs": rng.random((p["N"], p["N"])).astype(np.float32)},
+        reference=reference, paper_params={"N": 1060},
+        test_params={"N": 14})
+
+
+def schedule_symgs_wavefront(bundle: KernelBundle) -> None:
+    """Skew to (i+j, j): the outer wavefront loop carries both
+    dependences (left and up), so every anti-diagonal — the inner loop —
+    is dependence-free and parallel.  Not expressible in Halide
+    (Table I: "Support all affine loop transformations")."""
+    sweep = bundle.computations["sweep"]
+    sweep.skew("j", "i", 1)     # dim i becomes i + j (the wavefront)
+    bundle.function.check_legality()
+    sweep.parallelize("j")

@@ -1,0 +1,378 @@
+"""The image-processing benchmarks of paper Section VI-B.
+
+edgeDetector, cvtColor, conv2D, warpAffine, gaussian, nb, ticket #2373,
+plus the running blur example of Figures 2/3.  Each builder returns a
+fresh :class:`~repro.kernels.base.KernelBundle` (algorithm + NumPy
+reference); schedule_* helpers apply the paper's schedules.
+
+Paper input: a 2112x3520 RGB image (``paper_params``); tests use small
+sizes (``test_params``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.ir import cast, clamp, maximum, minimum, select
+from repro.ir import types as T
+from repro.ir.expr import Call, Const
+
+from .base import KernelBundle
+
+PAPER_IMAGE = {"N": 2112, "M": 3520}
+TEST_IMAGE = {"N": 26, "M": 22}
+
+
+def _image_input(name: str, N, M, channels: int = 3, dtype=T.float32):
+    dims = [Var(f"_{name}x", 0, N), Var(f"_{name}y", 0, M)]
+    if channels:
+        dims.append(Var(f"_{name}c", 0, channels))
+    return Input(name, dims, dtype=dtype)
+
+
+def _rand_image(params, rng, channels: int = 3):
+    shape = (params["N"], params["M"]) + ((channels,) if channels else ())
+    return (rng.random(shape) * 255).astype(np.float32)
+
+
+# -- blur (Figures 2 / 3) ----------------------------------------------------
+
+
+def build_blur() -> KernelBundle:
+    N, M = Param("N"), Param("M")
+    f = Function("blur", params=[N, M])
+    with f:
+        inp = _image_input("img", N, M)
+        iw, jw, cw = Var("iw", 0, N - 2), Var("jw", 0, M - 2), Var("cw", 0, 3)
+        i, j, c = Var("i", 0, N - 4), Var("j", 0, M - 2), Var("c", 0, 3)
+        bx = Computation("bx", [iw, jw, cw], None)
+        bx.set_expression((inp(iw, jw, cw) + inp(iw, jw + 1, cw)
+                           + inp(iw, jw + 2, cw)) / 3)
+        by = Computation("by", [i, j, c], None)
+        by.set_expression((bx(i, j, c) + bx(i + 1, j, c)
+                           + bx(i + 2, j, c)) / 3)
+
+    def reference(inputs, params):
+        img = inputs["img"]
+        n, m = params["N"], params["M"]
+        bx_ = (img[:n-2, :m-2] + img[:n-2, 1:m-1] + img[:n-2, 2:m]) / 3
+        by_ = (bx_[:n-4] + bx_[1:n-3] + bx_[2:n-2]) / 3
+        return {"by": by_}
+
+    return KernelBundle(
+        name="blur", function=f, computations={"bx": bx, "by": by},
+        make_inputs=lambda p, rng: {"img": _rand_image(p, rng)},
+        reference=reference, paper_params=dict(PAPER_IMAGE),
+        test_params=dict(TEST_IMAGE))
+
+
+def schedule_blur_cpu(bundle: KernelBundle, tile: int = 32) -> None:
+    """Figure 3(a): tile + parallelize + compute_at (overlapped tiling)."""
+    bx, by = bundle.computations["bx"], bundle.computations["by"]
+    by.tile("i", "j", tile, tile, "i0", "j0", "i1", "j1")
+    by.parallelize("i0")
+    bx.compute_at(by, "j0")
+
+
+# -- cvtColor ------------------------------------------------------------------
+
+
+def build_cvtcolor() -> KernelBundle:
+    N, M = Param("N"), Param("M")
+    f = Function("cvtcolor", params=[N, M])
+    with f:
+        inp = _image_input("img", N, M)
+        i, j = Var("i", 0, N), Var("j", 0, M)
+        gray = Computation("gray", [i, j], None)
+        gray.set_expression(inp(i, j, 0) * 0.299 + inp(i, j, 1) * 0.587
+                            + inp(i, j, 2) * 0.114)
+
+    def reference(inputs, params):
+        img = inputs["img"]
+        return {"gray": (img[..., 0] * 0.299 + img[..., 1] * 0.587
+                         + img[..., 2] * 0.114).astype(np.float32)}
+
+    return KernelBundle(
+        name="cvtColor", function=f, computations={"gray": gray},
+        make_inputs=lambda p, rng: {"img": _rand_image(p, rng)},
+        reference=reference, paper_params=dict(PAPER_IMAGE),
+        test_params=dict(TEST_IMAGE))
+
+
+# -- conv2D (clamped 3x3 convolution) --------------------------------------------
+
+
+def build_conv2d() -> KernelBundle:
+    N, M = Param("N"), Param("M")
+    f = Function("conv2d", params=[N, M])
+    with f:
+        inp = _image_input("img", N, M)
+        w = Input("w", [Var("_wa", 0, 3), Var("_wb", 0, 3)])
+        i, j, c = Var("i", 0, N), Var("j", 0, M), Var("c", 0, 3)
+        terms = None
+        for a in range(3):
+            for b in range(3):
+                term = inp(clamp(i + a - 1, 0, N - 1),
+                           clamp(j + b - 1, 0, M - 1), c) * w(a, b)
+                terms = term if terms is None else terms + term
+        out = Computation("conv", [i, j, c], terms)
+
+    def reference(inputs, params):
+        img, w_ = inputs["img"], inputs["w"]
+        n, m = params["N"], params["M"]
+        res = np.zeros_like(img)
+        ii = np.arange(n)[:, None, None]
+        jj = np.arange(m)[None, :, None]
+        for a in range(3):
+            for b in range(3):
+                src = img[np.clip(np.arange(n) + a - 1, 0, n - 1)][
+                    :, np.clip(np.arange(m) + b - 1, 0, m - 1)]
+                res += src * w_[a, b]
+        return {"conv": res}
+
+    def make_inputs(p, rng):
+        return {"img": _rand_image(p, rng),
+                "w": rng.random((3, 3)).astype(np.float32)}
+
+    return KernelBundle(
+        name="conv2D", function=f, computations={"conv": out},
+        make_inputs=make_inputs, reference=reference,
+        paper_params=dict(PAPER_IMAGE), test_params=dict(TEST_IMAGE))
+
+
+# -- warpAffine (bilinear affine warp, clamped) ------------------------------------
+
+
+def build_warp_affine(a00=0.1, a01=0.1, a10=0.1, a11=0.1) -> KernelBundle:
+    N, M = Param("N"), Param("M")
+    f = Function("warp_affine", params=[N, M])
+    with f:
+        inp = _image_input("img", N, M, channels=0)
+        i, j = Var("i", 0, N), Var("j", 0, M)
+        o_r = a00 * i + a01 * j
+        o_c = a10 * i + a11 * j
+        r = Call("floor", [o_r])
+        c_ = Call("floor", [o_c])
+        coeff_r = o_r - r
+        coeff_c = o_c - c_
+        r_int = cast(T.int32, r)
+        c_int = cast(T.int32, c_)
+
+        def sample(dr, dc):
+            return inp(clamp(r_int + dr, 0, N - 1),
+                       clamp(c_int + dc, 0, M - 1))
+
+        A00, A01 = sample(0, 0), sample(0, 1)
+        A10, A11 = sample(1, 0), sample(1, 1)
+        expr = ((1 - coeff_r) * ((1 - coeff_c) * A00 + coeff_c * A01)
+                + coeff_r * ((1 - coeff_c) * A10 + coeff_c * A11))
+        out = Computation("warp", [i, j], expr)
+
+    def reference(inputs, params):
+        img = inputs["img"]
+        n, m = params["N"], params["M"]
+        ii, jj = np.meshgrid(np.arange(n), np.arange(m), indexing="ij")
+        o_r = a00 * ii + a01 * jj
+        o_c = a10 * ii + a11 * jj
+        r = np.floor(o_r)
+        c = np.floor(o_c)
+        fr, fc = o_r - r, o_c - c
+        r = r.astype(np.int64)
+        c = c.astype(np.int64)
+
+        def s(dr, dc):
+            return img[np.clip(r + dr, 0, n - 1), np.clip(c + dc, 0, m - 1)]
+
+        res = ((1 - fr) * ((1 - fc) * s(0, 0) + fc * s(0, 1))
+               + fr * ((1 - fc) * s(1, 0) + fc * s(1, 1)))
+        return {"warp": res.astype(np.float32)}
+
+    return KernelBundle(
+        name="warpAffine", function=f, computations={"warp": out},
+        make_inputs=lambda p, rng: {"img": _rand_image(p, rng, channels=0)},
+        reference=reference, paper_params=dict(PAPER_IMAGE),
+        test_params=dict(TEST_IMAGE))
+
+
+# -- gaussian (separable 5-tap, clamped) --------------------------------------------
+
+
+GAUSS = [0.0625, 0.25, 0.375, 0.25, 0.0625]
+
+
+def build_gaussian() -> KernelBundle:
+    N, M = Param("N"), Param("M")
+    f = Function("gaussian", params=[N, M])
+    with f:
+        inp = _image_input("img", N, M)
+        ix, jx, cx = Var("ix", 0, N), Var("jx", 0, M), Var("cx", 0, 3)
+        i, j, c = Var("i", 0, N), Var("j", 0, M), Var("c", 0, 3)
+        gx_expr = None
+        for k in range(5):
+            t = inp(ix, clamp(jx + k - 2, 0, M - 1), cx) * GAUSS[k]
+            gx_expr = t if gx_expr is None else gx_expr + t
+        gx = Computation("gx", [ix, jx, cx], gx_expr)
+        gy_expr = None
+        for k in range(5):
+            t = gx(clamp(i + k - 2, 0, N - 1), j, c) * GAUSS[k]
+            gy_expr = t if gy_expr is None else gy_expr + t
+        gy = Computation("gy", [i, j, c], gy_expr)
+
+    def reference(inputs, params):
+        img = inputs["img"]
+        n, m = params["N"], params["M"]
+        gx_ = np.zeros_like(img)
+        for k in range(5):
+            gx_ += img[:, np.clip(np.arange(m) + k - 2, 0, m - 1)] * GAUSS[k]
+        gy_ = np.zeros_like(img)
+        for k in range(5):
+            gy_ += gx_[np.clip(np.arange(n) + k - 2, 0, n - 1)] * GAUSS[k]
+        return {"gy": gy_}
+
+    return KernelBundle(
+        name="gaussian", function=f, computations={"gx": gx, "gy": gy},
+        make_inputs=lambda p, rng: {"img": _rand_image(p, rng)},
+        reference=reference, paper_params=dict(PAPER_IMAGE),
+        test_params=dict(TEST_IMAGE))
+
+
+# -- nb: 4 stages updating one buffer (the fusion benchmark) --------------------------
+
+
+def build_nb() -> KernelBundle:
+    """Four stages over one output buffer: negative then brighten then
+    two contrast tweaks.  Tiramisu fuses all four (legal: same-element
+    updates); Halide cannot fuse loops that update the same buffer."""
+    N, M = Param("N"), Param("M")
+    f = Function("nb", params=[N, M])
+    with f:
+        inp = _image_input("img", N, M)
+        buf = Buffer("out", [N, M, 3])
+        comps = []
+        exprs = [
+            lambda prev, args: 255.0 - inp(*args),
+            lambda prev, args: minimum(prev(*args) * 1.5, 255.0),
+            lambda prev, args: prev(*args) - 10.0,
+            lambda prev, args: maximum(prev(*args), 0.0),
+        ]
+        prev = None
+        for s, make in enumerate(exprs):
+            i, j, c = (Var(f"i{s}", 0, N), Var(f"j{s}", 0, M),
+                       Var(f"c{s}", 0, 3))
+            comp = Computation(f"s{s}", [i, j, c], None)
+            comp.set_expression(make(prev, (i, j, c)))
+            comp.store_in(buf, [i, j, c])
+            if prev is not None:
+                comp.after(prev, None)
+            prev = comp
+            comps.append(comp)
+
+    def reference(inputs, params):
+        img = inputs["img"]
+        out = 255.0 - img
+        out = np.minimum(out * 1.5, 255.0)
+        out = out - 10.0
+        out = np.maximum(out, 0.0)
+        return {"out": out.astype(np.float32)}
+
+    return KernelBundle(
+        name="nb", function=f,
+        computations={c.name: c for c in comps},
+        make_inputs=lambda p, rng: {"img": _rand_image(p, rng)},
+        reference=reference, paper_params=dict(PAPER_IMAGE),
+        test_params=dict(TEST_IMAGE))
+
+
+def schedule_nb_fused(bundle: KernelBundle) -> None:
+    """Tiramisu's fusion (legality proven by dependence analysis): all
+    four stages in one loop nest — the 3.77x claim of Section VI-B."""
+    comps = [bundle.computations[f"s{s}"] for s in range(4)]
+    for prev, nxt in zip(comps, comps[1:]):
+        nxt.after(prev, "c" + prev.name[1])
+    bundle.function.check_legality()
+
+
+# -- edgeDetector (cyclic dataflow; inexpressible in Halide) ----------------------------
+
+
+def build_edge_detector() -> KernelBundle:
+    N, M = Param("N"), Param("M")
+    f = Function("edge", params=[N, M])
+    with f:
+        img = _image_input("img", N, M, channels=0)
+        ir, jr = Var("ir", 1, N - 1), Var("jr", 1, M - 1)
+        i, j = Var("i", 1, N - 2), Var("j", 2, M - 1)
+        ring = Computation("ring", [ir, jr], None)
+        ring.set_expression(
+            (img(ir - 1, jr - 1) + img(ir - 1, jr) + img(ir - 1, jr + 1)
+             + img(ir, jr - 1) + img(ir, jr + 1)
+             + img(ir + 1, jr - 1) + img(ir + 1, jr) + img(ir + 1, jr + 1))
+            / 8)
+        roberts = Computation("roberts", [i, j], None)
+        from repro.ir import absolute
+        roberts.set_expression(
+            absolute(ring(i, j) - ring(i + 1, j - 1))
+            + absolute(ring(i + 1, j) - ring(i, j - 1)))
+        # The cyclic part: the result is written back into the image
+        # buffer (Img is written by roberts and read by ring).
+        roberts.store_in(img.get_buffer(), [i, j])
+        roberts.after(ring, None)
+        from repro.core.buffer import ArgKind
+        img.get_buffer().kind = ArgKind.INOUT
+
+    def reference(inputs, params):
+        img = inputs["img"].astype(np.float32).copy()
+        n, m = params["N"], params["M"]
+        ring_ = np.zeros((n, m), np.float32)
+        ring_[1:n-1, 1:m-1] = (
+            img[0:n-2, 0:m-2] + img[0:n-2, 1:m-1] + img[0:n-2, 2:m]
+            + img[1:n-1, 0:m-2] + img[1:n-1, 2:m]
+            + img[2:n, 0:m-2] + img[2:n, 1:m-1] + img[2:n, 2:m]) / 8
+        out = img.copy()
+        for a in range(1, n - 2):
+            for b in range(2, m - 1):
+                out[a, b] = (abs(ring_[a, b] - ring_[a + 1, b - 1])
+                             + abs(ring_[a + 1, b] - ring_[a, b - 1]))
+        return {"img": out}
+
+    bundle = KernelBundle(
+        name="edgeDetector", function=f,
+        computations={"ring": ring, "roberts": roberts},
+        make_inputs=lambda p, rng: {"img": _rand_image(p, rng, channels=0)},
+        reference=reference, paper_params=dict(PAPER_IMAGE),
+        test_params=dict(TEST_IMAGE))
+    return bundle
+
+
+# -- ticket #2373 (triangular iteration space) --------------------------------------
+
+
+def build_ticket2373() -> KernelBundle:
+    """The Halide bug: assign A[x] for x >= r — a non-rectangular space
+    that interval-based bounds inference over-approximates."""
+    N, R = Param("N"), Param("R")
+    f = Function("ticket2373", params=[N, R])
+    with f:
+        r = Var("r", 0, R)
+        x = Var("x", r.expr(), N)      # x ranges r..N-1: triangular
+        a = Computation("a", [r, x], None)
+        a.set_expression(1.0 * (x + r))
+        a.store_in(Buffer("A", [N]), [x])
+
+    def reference(inputs, params):
+        n, rmax = params["N"], params["R"]
+        out = np.zeros(n, np.float32)
+        for rr in range(rmax):
+            for xx in range(rr, n):
+                out[xx] = float(xx + rr)
+        return {"A": out}
+
+    return KernelBundle(
+        name="ticket2373", function=f, computations={"a": a},
+        make_inputs=lambda p, rng: {},
+        reference=reference,
+        paper_params={"N": 4096, "R": 4096},
+        test_params={"N": 19, "R": 13})

@@ -1,0 +1,100 @@
+"""Vendor-library stand-ins: Intel MKL and NVIDIA cuBLAS (DESIGN.md).
+
+Two faces, used by different parts of the harness:
+
+- *executable*: NumPy-BLAS-backed kernels (``sgemm``, ``conv``) used by
+  correctness tests and wall-clock benchmarks as the "hand-tuned
+  library";
+- *modeled*: closed-form times on the paper's machines, expressed as a
+  fraction of machine peak.  The efficiency constants are the calibration
+  points of the reproduction (documented in EXPERIMENTS.md): MKL's sgemm
+  runs at a large fraction of peak; its generic convolution pays for not
+  specializing on the filter size (the effect Section VI-A credits for
+  Tiramisu's win on Conv/VGG).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.machine.params import (DEFAULT_CPU, DEFAULT_GPU, CpuMachine,
+                                  GpuMachine)
+
+# Calibrated efficiency constants (fraction of machine peak flops).
+MKL_SGEMM_EFFICIENCY = 0.35
+MKL_CONV_EFFICIENCY = 0.18      # generic filter loop, no specialization
+MKL_VGG_EFFICIENCY = 0.13       # two unfused convolutions (extra traffic)
+CUBLAS_SGEMM_EFFICIENCY = 0.45
+
+
+def _cpu_peak_flops(machine: CpuMachine) -> float:
+    return (machine.cores * machine.frequency_ghz * 1e9
+            * machine.vector_width_f32 * machine.flops_per_cycle_scalar)
+
+
+def _gpu_peak_flops(machine: GpuMachine) -> float:
+    return machine.cuda_cores * machine.frequency_ghz * 1e9 * 2.0
+
+
+# -- executable kernels -------------------------------------------------------
+
+
+def sgemm(alpha: float, a: np.ndarray, b: np.ndarray, beta: float,
+          c: np.ndarray) -> np.ndarray:
+    """C = alpha*A@B + beta*C, in place (the MKL cblas_sgemm contract)."""
+    c *= beta
+    c += alpha * (a @ b)
+    return c
+
+
+def conv2d_nchw(img: np.ndarray, w: np.ndarray,
+                bias: np.ndarray) -> np.ndarray:
+    """Direct valid convolution via im2col + BLAS (MKL-DNN style)."""
+    bsz, fi, n, m = img.shape
+    fo, _, kk, _ = w.shape
+    out_h, out_w = n - kk + 1, m - kk + 1
+    cols = np.empty((bsz, fi * kk * kk, out_h * out_w), img.dtype)
+    idx = 0
+    for c in range(fi):
+        for ky in range(kk):
+            for kx in range(kk):
+                cols[:, idx, :] = img[:, c, ky:ky + out_h,
+                                      kx:kx + out_w].reshape(bsz, -1)
+                idx += 1
+    wmat = w.reshape(fo, fi * kk * kk)
+    out = np.einsum("ok,bkp->bop", wmat, cols)
+    return out.reshape(bsz, fo, out_h, out_w) + bias[None, :, None, None]
+
+
+# -- modeled times ----------------------------------------------------------------
+
+
+def mkl_sgemm_time(n: int, m: int, k: int,
+                   machine: CpuMachine = DEFAULT_CPU) -> float:
+    flops = 2.0 * n * m * k
+    return flops / (_cpu_peak_flops(machine) * MKL_SGEMM_EFFICIENCY)
+
+
+def mkl_conv_time(batch: int, f_in: int, f_out: int, n: int, m: int,
+                  ksize: int = 3,
+                  machine: CpuMachine = DEFAULT_CPU) -> float:
+    flops = 2.0 * batch * f_in * f_out * n * m * ksize * ksize
+    return flops / (_cpu_peak_flops(machine) * MKL_CONV_EFFICIENCY)
+
+
+def mkl_vgg_time(batch: int, f: int, n: int, m: int,
+                 machine: CpuMachine = DEFAULT_CPU) -> float:
+    flops = 2.0 * 2 * batch * f * f * n * m * 9
+    return flops / (_cpu_peak_flops(machine) * MKL_VGG_EFFICIENCY)
+
+
+def cublas_sgemm_time(n: int, m: int, k: int,
+                      machine: GpuMachine = DEFAULT_GPU) -> float:
+    flops = 2.0 * n * m * k
+    compute = flops / (_gpu_peak_flops(machine) * CUBLAS_SGEMM_EFFICIENCY)
+    bytes_moved = 4.0 * (n * k + k * m + 2 * n * m)
+    transfer = (bytes_moved / (machine.pcie_bandwidth_gbs * 1e9)
+                + 2 * machine.pcie_latency_us * 1e-6)
+    return compute + transfer

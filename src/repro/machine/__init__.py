@@ -1,0 +1,21 @@
+"""Analytical performance models for the machines the paper evaluates on
+(multicore Xeon node, Tesla K40, Infiniband cluster) — see DESIGN.md for
+why simulation replaces the authors' testbed."""
+
+from .cachesim import (SetAssociativeCache, TraceSimulator, TraceStats,
+                       simulate_trace)
+from .cpu_model import CostReport, CpuCostModel
+from .gpu_model import GpuCostModel, GpuCostReport
+from .network import (CommEstimate, estimate_messages, halo_exchange_time,
+                      message_time)
+from .params import (DEFAULT_CPU, DEFAULT_GPU, DEFAULT_NETWORK, Cluster,
+                     CpuMachine, GpuMachine, Network)
+
+__all__ = [
+    "SetAssociativeCache", "TraceSimulator", "TraceStats",
+    "simulate_trace",
+    "CostReport", "CpuCostModel", "GpuCostModel", "GpuCostReport",
+    "CommEstimate", "estimate_messages", "halo_exchange_time",
+    "message_time", "DEFAULT_CPU", "DEFAULT_GPU", "DEFAULT_NETWORK",
+    "Cluster", "CpuMachine", "GpuMachine", "Network",
+]

@@ -1,0 +1,223 @@
+"""Analytical GPU performance model (K40-class, see DESIGN.md).
+
+Walks the loop AST of a GPU-scheduled function.  Each top-level loop
+nest is a kernel launch; within it, ``gpu_block``/``gpu_thread`` tags
+define the grid while untagged loops are serial per-thread work.  Kernel
+time is the max of the compute estimate (per-thread cycles x threads /
+cores) and the bandwidth estimate (global traffic / bandwidth), plus
+launch and PCIe transfer costs.  Memory-space-aware access pricing
+captures the paper's Section VI-B effects: coalescing along the
+innermost thread dimension (SOA layouts), shared/constant staging, and
+thread divergence from ragged bounds or guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.ast import Block, Loop, Stmt
+from repro.core.buffer import MemSpace
+from repro.core.computation import Operation
+from repro.isl.linexpr import OUT
+
+from .cpu_model import CpuCostModel, _LoopCtx, _flops_in
+from .params import DEFAULT_GPU, GpuMachine
+
+
+@dataclass
+class GpuCostReport:
+    seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    launches: int = 0
+    grid: float = 1.0              # of the largest launch
+    block: float = 1.0
+    global_bytes: float = 0.0
+    divergent: bool = False
+
+
+@dataclass
+class _Launch:
+    blocks: float = 1.0
+    threads: float = 1.0
+    thread_cycles: float = 0.0     # serial cycles per thread
+    block_cycles: float = 0.0      # cooperative (per-block) cycles
+    global_bytes: float = 0.0
+    divergent: bool = False
+
+
+class GpuCostModel(CpuCostModel):
+    """Extends the CPU walker with GPU execution geometry."""
+
+    def __init__(self, fn, params: Dict[str, int],
+                 machine: GpuMachine = DEFAULT_GPU):
+        super().__init__(fn, params)
+        self.g = machine
+
+    def estimate_gpu(self) -> GpuCostReport:
+        report = GpuCostReport()
+        kernel_total = 0.0
+        for child in self.ast.children:
+            launch = _Launch()
+            self._visit(child, [], launch, report, in_kernel=False)
+            if launch.blocks * launch.threads <= 1.0 \
+                    and launch.thread_cycles == 0.0:
+                continue
+            total_threads = launch.blocks * launch.threads
+            parallel = min(float(self.g.cuda_cores), max(1.0, total_threads))
+            total_work = (launch.thread_cycles * total_threads
+                          + launch.block_cycles * launch.blocks)
+            compute_s = (total_work / parallel * self.g.cycle_ns * 1e-9)
+            bw_s = launch.global_bytes / (self.g.global_bandwidth_gbs * 1e9)
+            t = max(compute_s, bw_s)
+            if launch.divergent:
+                t *= self.g.divergence_penalty
+                report.divergent = True
+            kernel_total += t + self.g.kernel_launch_us * 1e-6
+            report.launches += 1
+            report.global_bytes += launch.global_bytes
+            if launch.blocks >= report.grid:
+                report.grid = launch.blocks
+                report.block = launch.threads
+        report.kernel_seconds = kernel_total
+        report.seconds = kernel_total + report.transfer_seconds
+        return report
+
+    # -- walk -------------------------------------------------------------
+
+    def _visit(self, node, loops: List[_LoopCtx], launch: _Launch,
+               report: GpuCostReport, in_kernel: bool,
+               iter_mult: float = 1.0, serial_mult: float = 1.0,
+               produced: Optional[set] = None) -> None:
+        produced = set() if produced is None else produced
+        if isinstance(node, Block):
+            for child in node.children:
+                self._visit(child, loops, launch, report, in_kernel,
+                            iter_mult, serial_mult, produced)
+                if isinstance(child, Stmt):
+                    comp = child.comp
+                    if not isinstance(comp, Operation)                             and comp.expr is not None:
+                        produced.add(id(comp.get_buffer()))
+            return
+        if isinstance(node, Stmt):
+            self._stmt(node, loops, launch, report, iter_mult, serial_mult,
+                       produced)
+            return
+        assert isinstance(node, Loop)
+        lo = self._eval_bound(node.lowers, loops, True)
+        hi = self._eval_bound(node.uppers, loops, False)
+        trip = max(0.0, hi - lo + 1.0)
+        if trip == 0.0:
+            return
+        ctx = _LoopCtx(level=node.level, trip=trip, mid=(lo + hi) / 2.0,
+                       tag=node.tag, vector_ok=False, lo=lo, hi=hi)
+        kind = node.tag.kind if node.tag else None
+        # Divergence is decided numerically: do the bounds at the edge of
+        # the outer iteration space differ from the typical ones?  (The
+        # paper's full/partial tile separation exists precisely to avoid
+        # this; exactly-dividing tile sizes avoid it too.)
+        lo_edge = self._eval_bound(node.lowers, loops, True, at="hi")
+        hi_edge = self._eval_bound(node.uppers, loops, False, at="hi")
+        trip_edge = max(0.0, hi_edge - lo_edge + 1.0)
+        ragged = abs(trip_edge - trip) > 0.5
+        if kind == "gpu_block":
+            launch.blocks *= trip
+            self._visit(node.body, loops + [ctx], launch, report, True,
+                        iter_mult * trip, serial_mult, produced)
+        elif kind == "gpu_thread":
+            launch.threads *= trip
+            if ragged:
+                launch.divergent = True
+            self._visit(node.body, loops + [ctx], launch, report, True,
+                        iter_mult * trip, serial_mult, produced)
+        else:
+            launch.thread_cycles += serial_mult * trip \
+                * self.m.loop_overhead_cycles * 0.25
+            self._visit(node.body, loops + [ctx], launch, report,
+                        in_kernel, iter_mult * trip, serial_mult * trip,
+                        produced)
+
+    def _stmt(self, stmt: Stmt, loops, launch: _Launch,
+              report: GpuCostReport, iter_mult: float,
+              serial_mult: float, produced: Optional[set] = None) -> None:
+        produced = produced or set()
+        comp = stmt.comp
+        if isinstance(comp, Operation):
+            self._op(comp, launch, report, iter_mult, serial_mult)
+            return
+        if comp.expr is None:
+            return
+        if stmt.guards and any(
+                lc.tag is not None and lc.tag.kind == "gpu_thread"
+                for lc in loops):
+            launch.divergent = True
+        cycles = _flops_in(comp.expr) / 2.0   # dual-issue CUDA core
+        thread_dims = [lc.level for lc in loops
+                       if lc.tag is not None
+                       and lc.tag.kind == "gpu_thread"]
+        serial_dims = {lc.level for lc in loops if lc.tag is None
+                       or lc.tag.kind not in ("gpu_thread", "gpu_block")}
+        innermost_thread = max(thread_dims) if thread_dims else None
+        for buffer, flat_le, elem_bytes in self._collect_accesses(comp):
+            space = buffer.mem_space
+            access_levels = {idx for (kind, idx) in flat_le.dims()
+                             if kind == OUT}
+            if id(buffer) in produced:
+                # Written by an earlier fused statement at thread scope:
+                # value forwarded in registers/L1 (fusion benefit).
+                cycles += 1.0
+                continue
+            if space == MemSpace.GPU_SHARED:
+                cycles += self.g.shared_latency_cycles / 4.0
+                continue
+            if space == MemSpace.GPU_LOCAL:
+                cycles += 1.0
+                continue
+            if space == MemSpace.GPU_CONSTANT:
+                cycles += self.g.constant_latency_cycles / 8.0
+                continue
+            if not (access_levels & serial_dims) and serial_mult > 1.0:
+                # Address fixed per thread: lives in a register across
+                # the serial loops (e.g. the gemm accumulator); one
+                # global access per thread instead of per iteration.
+                cycles += (self.g.global_latency_cycles
+                           / self.g.warp_size) / serial_mult
+                launch.global_bytes += (elem_bytes * iter_mult
+                                        / serial_mult)
+                continue
+            stride = (abs(float(flat_le.coeff((OUT, innermost_thread))))
+                      if innermost_thread is not None else 1.0)
+            coalesced = stride <= 1.0
+            waste = 1.0 if coalesced else min(self.g.coalescing_factor,
+                                              stride)
+            cycles += (self.g.global_latency_cycles
+                       / self.g.warp_size) * waste
+            launch.global_bytes += elem_bytes * waste * iter_mult
+        launch.thread_cycles += cycles * serial_mult
+
+    def _op(self, op: Operation, launch: _Launch, report: GpuCostReport,
+            iter_mult: float, serial_mult: float) -> None:
+        direction = op.payload.get("direction")
+        if direction in ("h2d", "d2h"):
+            buf = op.payload["dst" if direction == "h2d" else "src"]
+            elems = 1.0
+            for s in self._buffer_shape(buf):
+                elems *= s
+            nbytes = elems * buf.dtype.bits / 8
+            report.transfer_seconds += (
+                self.g.pcie_latency_us * 1e-6
+                + nbytes / (self.g.pcie_bandwidth_gbs * 1e9))
+            return
+        if op.op_kind == "cache_copy":
+            elems = 1.0
+            for e in op.payload["extents"]:
+                elems *= e
+            nbytes = elems * op.payload["dst"].dtype.bits / 8
+            launch.global_bytes += nbytes * iter_mult
+            # Cooperative load: the block's threads share the copy.
+            launch.block_cycles += serial_mult * elems \
+                * self.g.global_latency_cycles / self.g.warp_size
+            return
+        if op.op_kind == "barrier":
+            launch.thread_cycles += 20.0 * serial_mult

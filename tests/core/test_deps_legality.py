@@ -1,0 +1,199 @@
+"""Dependence analysis and schedule legality (paper Table I rows
+"Exact dependence analysis" and "Compile-time set emptiness check")."""
+
+import pytest
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.core.deps import (carried_at_level, compute_dependences,
+                             check_schedule_legality, write_map)
+from repro.core.errors import IllegalScheduleError
+from repro.ir import clamp
+
+
+def producer_consumer(shift=0):
+    f = Function("f")
+    with f:
+        iw = Var("iw", 0, 16)
+        i = Var("i", 1, 15)
+        a = Computation("a", [iw], 1.0)
+        b = Computation("b", [i], None)
+        b.set_expression(a(i - 1 + shift) + a(i))
+    return f, a, b
+
+
+class TestDependenceComputation:
+    def test_flow_dep_found(self):
+        f, a, b = producer_consumer()
+        deps = compute_dependences(f)
+        flows = [d for d in deps if d.kind == "flow"]
+        assert len(flows) >= 1
+        assert all(d.source is a and d.sink is b for d in flows)
+
+    def test_flow_relation_points(self):
+        f, a, b = producer_consumer()
+        deps = [d for d in compute_dependences(f) if d.kind == "flow"]
+        rel = deps[0].relation
+        for d in deps:
+            rel = rel.union(d.relation)
+        # b(5) reads a(4) and a(5).
+        assert rel.contains_point([4], [5])
+        assert rel.contains_point([5], [5])
+        assert not rel.contains_point([3], [5])
+
+    def test_no_false_deps_between_unrelated(self):
+        f = Function("f")
+        with f:
+            a = Computation("a", [Var("i", 0, 4)], 1.0)
+            b = Computation("b", [Var("i", 0, 4)], 2.0)
+        assert compute_dependences(f) == []
+
+    def test_self_flow_dep_reduction(self):
+        f = Function("f")
+        with f:
+            i, k = Var("i", 0, 4), Var("k", 0, 4)
+            buf = Buffer("acc", [4])
+            c = Computation("c", [i, k], None)
+            c.set_expression(c(i, k - 1) + 1.0)
+            c.store_in(buf, [i])
+        deps = compute_dependences(f)
+        flows = [d for d in deps if d.kind == "flow"
+                 and d.source is c and d.sink is c]
+        assert flows
+        # (i, k) -> (i, k') with k < k' (memory-based: same cell).
+        assert flows[0].relation.contains_point([2, 0], [2, 1])
+        assert not flows[0].relation.contains_point([2, 1], [1, 2])
+
+    def test_anti_dep(self):
+        """b writes what a read: in-place update pattern."""
+        f = Function("f")
+        with f:
+            buf = Buffer("x", [10])
+            i = Var("i", 0, 9)
+            a = Computation("a", [i], None)
+            b = Computation("b", [Var("i2", 0, 9)], 7.0)
+            b.store_in(buf, [Var("i2", 0, 9)])
+            a.set_expression(b(i))  # a reads buf
+            a.store_in(Buffer("y", [10]), [i])
+        deps = compute_dependences(f)
+        antis = [d for d in deps if d.kind == "anti"]
+        assert antis and antis[0].source is a and antis[0].sink is b
+
+    def test_output_dep(self):
+        f = Function("f")
+        with f:
+            buf = Buffer("x", [10])
+            i = Var("i", 0, 9)
+            a = Computation("a", [i], 1.0)
+            b = Computation("b", [Var("i2", 0, 9)], 2.0)
+            a.store_in(buf, [i])
+            b.store_in(buf, [Var("i2", 0, 9)])
+        deps = compute_dependences(f)
+        assert any(d.kind == "output" for d in deps)
+
+    def test_nonaffine_access_overapproximated(self):
+        """clamp() indices: dependence must cover all possible targets
+        (Section V-B over-approximation)."""
+        f = Function("f")
+        with f:
+            iw = Var("iw", 0, 10)
+            i = Var("i", 0, 10)
+            a = Computation("a", [iw], 1.0)
+            b = Computation("b", [i], None)
+            b.set_expression(a(clamp(i - 1, 0, 9)))
+        deps = [d for d in compute_dependences(f) if d.kind == "flow"]
+        assert deps
+        rel = deps[0].relation
+        # Over-approximation: any a instance may feed any b instance.
+        assert rel.contains_point([9], [0])
+
+
+class TestLegality:
+    def test_default_order_legal(self):
+        f, a, b = producer_consumer()
+        check_schedule_legality(f)
+
+    def test_reversed_order_illegal(self):
+        f, a, b = producer_consumer()
+        b.before(a)
+        with pytest.raises(IllegalScheduleError):
+            check_schedule_legality(f)
+
+    def test_fusion_legal_when_shifted(self):
+        """Fusing a and b at level i is legal here because b(i) only reads
+        a(i-1) and a(i) — exactly the case Halide's conservative rule
+        would reject (paper Section II-c)."""
+        f = Function("f")
+        with f:
+            iw = Var("iw", 0, 16)
+            i = Var("i", 1, 16)
+            a = Computation("a", [iw], 1.0)
+            b = Computation("b", [i], None)
+            b.set_expression(a(i - 1))
+        b.after(a, "iw")
+        check_schedule_legality(f)
+
+    def test_fusion_illegal_forward_read(self):
+        """b(i) reads a(i+1): same-iteration fusion violates the flow
+        dependence, and dependence analysis catches it exactly."""
+        f = Function("f")
+        with f:
+            iw = Var("iw", 0, 16)
+            i = Var("i", 0, 15)
+            a = Computation("a", [iw], 1.0)
+            b = Computation("b", [i], None)
+            b.set_expression(a(i + 1))
+        b.after(a, "iw")
+        with pytest.raises(IllegalScheduleError):
+            check_schedule_legality(f)
+
+    def test_interchange_legality_stencil(self):
+        """c(i,j) reads c(i-1, j+1): interchange flips the dependence
+        direction and must be rejected."""
+        f = Function("f")
+        with f:
+            i, j = Var("i", 1, 8), Var("j", 0, 7)
+            buf = Buffer("g", [9, 9])
+            c = Computation("c", [i, j], None)
+            c.set_expression(c(i - 1, j + 1))
+            c.store_in(buf, [i, j])
+        check_schedule_legality(f)  # legal before interchange
+        c.interchange("i", "j")
+        with pytest.raises(IllegalScheduleError):
+            check_schedule_legality(f)
+
+    def test_skew_enables_legal_order(self):
+        """Classic wavefront: c(i,j) reads c(i-1,j) and c(i,j-1); the
+        skewed schedule (i, i+j) remains legal."""
+        f = Function("f")
+        with f:
+            i, j = Var("i", 1, 8), Var("j", 1, 8)
+            buf = Buffer("g", [9, 9])
+            c = Computation("c", [i, j], None)
+            c.set_expression(c(i - 1, j) + c(i, j - 1))
+            c.store_in(buf, [i, j])
+        c.skew("i", "j", 1)
+        check_schedule_legality(f)
+
+
+class TestCarriedDeps:
+    def test_reduction_carried_on_k_only(self):
+        f = Function("f")
+        with f:
+            i, k = Var("i", 0, 8), Var("k", 0, 8)
+            buf = Buffer("acc", [8])
+            c = Computation("c", [i, k], None)
+            c.set_expression(c(i, k - 1) + 1.0)
+            c.store_in(buf, [i])
+        assert carried_at_level(f, c, 1)       # k carries the dep
+        assert not carried_at_level(f, c, 0)   # i is parallel
+
+    def test_stencil_row_parallel(self):
+        f = Function("f")
+        with f:
+            i, j = Var("i", 1, 8), Var("j", 0, 8)
+            buf = Buffer("g", [9, 9])
+            c = Computation("c", [i, j], None)
+            c.set_expression(c(i - 1, j))
+            c.store_in(buf, [i, j])
+        assert carried_at_level(f, c, 0)       # i carries
+        assert not carried_at_level(f, c, 1)   # j parallel

@@ -1,0 +1,142 @@
+"""Advanced distributed-backend scenarios: bidirectional halo exchange,
+barriers, distributed + nested parallel loops, and the Figure 3(c)
+pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (ASYNC, SYNC, Buffer, Computation, Function, Input,
+                   Param, Var, barrier_at, receive, send)
+
+
+class TestBidirectionalExchange:
+    """Each node exchanges a boundary element with BOTH neighbours —
+    requires genuinely concurrent ranks (a sequential simulator would
+    deadlock)."""
+
+    def build(self):
+        R, Nodes = Param("R"), Param("Nodes")
+        f = Function("bidir", params=[R, Nodes])
+        with f:
+            # local layout: [left_halo, x0..x(R-1), right_halo]
+            lin = Input("lin", [Var("x", 0, R + 2)])
+            su = Var("su", 0, Nodes - 1)
+            sd = Var("sd", 1, Nodes)
+            ru = Var("ru", 1, Nodes)
+            rd = Var("rd", 0, Nodes - 1)
+            # send my last element up; my first element down
+            s_up = send([su], lin.get_buffer(), R, 1, su + 1, (ASYNC,))
+            s_dn = send([sd], lin.get_buffer(), 1, 1, sd - 1, (ASYNC,))
+            r_up = receive([ru], lin.get_buffer(), 0, 1, ru - 1, (SYNC,))
+            r_dn = receive([rd], lin.get_buffer(), R + 1, 1, rd + 1,
+                           (SYNC,))
+            i = Var("i", 0, R)
+            out = Computation("out", [i], None)
+            out.set_expression(lin(i) + lin(i + 1) + lin(i + 2))
+        for op, level in ((s_up, "su"), (s_dn, "sd"), (ru_op := r_up, "ru"),
+                          (r_dn, "rd")):
+            op.distribute(level)
+        s_dn.after(s_up)
+        r_up.after(s_dn)
+        r_dn.after(r_up)
+        out.after(r_dn)
+        return f
+
+    def test_three_point_stencil_across_nodes(self):
+        f = self.build()
+        k = f.compile("distributed")
+        ranks, rows = 4, 6
+        full = np.arange(1, ranks * rows + 1, dtype=np.float64)
+
+        def rank_input(q):
+            slab = np.zeros(rows + 2)
+            slab[1:rows + 1] = full[q * rows:(q + 1) * rows]
+            return {"lin": slab}
+
+        res = k(ranks=ranks, inputs=rank_input,
+                params={"R": rows, "Nodes": ranks})
+        got = np.concatenate([r["out"] for r in res])
+        padded = np.concatenate([[0.0], full, [0.0]])
+        ref = padded[:-2] + padded[1:-1] + padded[2:]
+        assert np.allclose(got, ref)
+        # interior boundaries came from real messages
+        assert k.last_stats.message_count() == 2 * (ranks - 1)
+
+
+class TestBarrier:
+    def test_global_barrier_runs(self):
+        Nodes = Param("Nodes")
+        f = Function("f", params=[Nodes])
+        with f:
+            c = Computation("c", [Var("q", 0, Nodes), Var("i", 0, 4)], 1.0)
+        op = barrier_at(c)
+        # run the barrier after the computation on every rank
+        f.order_directives.clear()
+        f.order_after(op, c, -1)
+        c.distribute("q")
+        k = f.compile("distributed")
+        res = k(ranks=3, inputs={}, params={"Nodes": 3})
+        assert all((r["c"][q] == 1).all() for q, r in enumerate(res))
+
+
+class TestDistributedPlusParallel:
+    def test_inner_parallel_tag_composes(self):
+        """'All other scheduling commands can be composed with sends,
+        recvs, and distributed loops' (Section III-C)."""
+        P, Nodes = Param("P"), Param("Nodes")
+        f = Function("f", params=[P, Nodes])
+        with f:
+            q, i, j = Var("q", 0, Nodes), Var("i", 0, P), Var("j", 0, P)
+            c = Computation("c", [q, i, j], None)
+            c.set_expression(1.0 * q + 0.5)
+        c.distribute("q")
+        c.parallelize("i")
+        c.vectorize("j", 4)
+        k = f.compile("distributed")
+        res = k(ranks=2, inputs={}, params={"P": 8, "Nodes": 2})
+        for rank in range(2):
+            assert np.allclose(res[rank]["c"][rank], rank + 0.5)
+
+    def test_tiled_distributed(self):
+        P, Nodes = Param("P"), Param("Nodes")
+        f = Function("f", params=[P, Nodes])
+        with f:
+            q, i, j = Var("q", 0, Nodes), Var("i", 0, P), Var("j", 0, P)
+            c = Computation("c", [q, i, j], 2.0)
+        c.tile("i", "j", 4, 4)
+        c.distribute("q")
+        k = f.compile("distributed")
+        res = k(ranks=2, inputs={}, params={"P": 10, "Nodes": 2})
+        assert (res[1]["c"][1] == 2).all()
+
+
+class TestMessageOrdering:
+    def test_fifo_per_channel(self):
+        """Two sends from the same source arrive in order."""
+        Nodes = Param("Nodes")
+        f = Function("f", params=[Nodes])
+        with f:
+            buf = Buffer("b", [2])
+            s1_it = Var("s1", 1, Nodes)
+            s2_it = Var("s2", 1, Nodes)
+            r1_it = Var("r1", 0, Nodes - 1)
+            r2_it = Var("r2", 0, Nodes - 1)
+            s1 = send([s1_it], buf, 0, 1, s1_it - 1, (ASYNC,))
+            s2 = send([s2_it], buf, 1, 1, s2_it - 1, (ASYNC,))
+            r1 = receive([r1_it], buf, 0, 1, r1_it + 1, (SYNC,))
+            r2 = receive([r2_it], buf, 1, 1, r2_it + 1, (SYNC,))
+            init = Computation("init", [Var("i", 0, 2)], None)
+            init.set_expression(10.0 + Var("i", 0, 2))
+            init.store_in(buf, [Var("i", 0, 2)])
+        for op, lvl in ((s1, "s1"), (s2, "s2"), (r1, "r1"), (r2, "r2")):
+            op.distribute(lvl)
+        s1.after(init)
+        s2.after(s1)
+        r1.after(s2)
+        r2.after(r1)
+        buf.kind = __import__("repro.core.buffer",
+                              fromlist=["ArgKind"]).ArgKind.OUTPUT
+        k = f.compile("distributed")
+        res = k(ranks=2, inputs={}, params={"Nodes": 2})
+        # rank 0 received rank 1's init values in slot order
+        assert res[0]["b"][0] == 10.0 and res[0]["b"][1] == 11.0

@@ -1,0 +1,159 @@
+"""Tests for the DSL surface: vars, params, computations, domains."""
+
+import pytest
+
+from repro import Computation, Function, Input, Param, Var
+from repro.core.errors import TiramisuError
+from repro.isl import count
+
+
+class TestVar:
+    def test_ranged_var(self):
+        N = Param("N")
+        v = Var("i", 0, N)
+        assert v.has_range
+        assert v.name == "i"
+
+    def test_bare_var(self):
+        v = Var("i0")
+        assert not v.has_range
+
+    def test_fresh_names_unique(self):
+        assert Var().name != Var().name
+
+    def test_var_arithmetic_builds_exprs(self):
+        i = Var("i", 0, 10)
+        e = i + 1
+        assert repr(e) == "(i + 1)"
+        assert repr(2 * i) == "(2 * i)"
+        assert repr(i % 3) == "(i % 3)"
+
+
+class TestFunctionRegistration:
+    def test_computation_outside_function_rejected(self):
+        with pytest.raises(TiramisuError):
+            Computation("c", [Var("i", 0, 4)], 1.0)
+
+    def test_duplicate_names_rejected(self):
+        with Function("f") as f:
+            Computation("c", [Var("i", 0, 4)], 1.0)
+            with pytest.raises(TiramisuError):
+                Computation("c", [Var("j", 0, 4)], 2.0)
+
+    def test_params_auto_registered_from_bounds(self):
+        N = Param("N")
+        with Function("f") as f:
+            Computation("c", [Var("i", 0, N * 2 - 1)], 0.0)
+        assert f.param_names == ("N",)
+
+    def test_explicit_fn_argument(self):
+        f = Function("g")
+        c = Computation("c", [Var("i", 0, 3)], 0.0, fn=f)
+        assert c in f.computations
+
+    def test_unranged_var_rejected(self):
+        with Function("f"):
+            with pytest.raises(TiramisuError):
+                Computation("c", [Var("i")], 0.0)
+
+
+class TestDomains:
+    def test_rectangular_domain(self):
+        with Function("f"):
+            c = Computation("c", [Var("i", 0, 4), Var("j", 1, 3)], 0.0)
+        assert count(c.domain) == 4 * 2
+
+    def test_parametric_domain(self):
+        N = Param("N")
+        with Function("f", params=[N]):
+            c = Computation("c", [Var("i", 0, N)], 0.0)
+        assert count(c.domain, {"N": 5}) == 5
+
+    def test_triangular_via_var_bound(self):
+        """Non-rectangular domains: the paper's key advantage over
+        interval-based Halide (ticket #2373)."""
+        N = Param("N")
+        with Function("f", params=[N]):
+            i = Var("i", 0, N)
+            j = Var("j", 0, i + 1)   # 0 <= j <= i
+            c = Computation("c", [i, j], 0.0)
+        assert count(c.domain, {"N": 4}) == 10
+
+    def test_nonaffine_bound_rejected(self):
+        N = Param("N")
+        with Function("f", params=[N]):
+            i = Var("i", 0, N)
+            with pytest.raises(TiramisuError):
+                Computation("c", [i, Var("j", 0, i * i)], 0.0)
+
+
+class TestAccess:
+    def test_call_builds_access(self):
+        with Function("f"):
+            i = Var("i", 0, 4)
+            a = Computation("a", [i], 1.0)
+            acc = a(i + 1)
+        assert acc.computation is a
+        assert repr(acc) == "a((i + 1))"
+
+    def test_input_has_named_buffer(self):
+        with Function("f"):
+            inp = Input("img", [Var("x", 0, 8)])
+        assert inp.get_buffer().name == "img"
+
+    def test_cyclic_dataflow_allowed(self):
+        """The edgeDetector pattern: R reads Img, Img reads R — a cyclic
+        dependence graph Halide rejects but Tiramisu supports."""
+        with Function("f"):
+            i = Var("i", 1, 7)
+            img = Computation("img", [Var("x", 0, 8)], 0.0)
+            r = Computation("r", [i], None)
+            r.set_expression(img(i - 1) + img(i + 1))
+            img2 = Computation("img2", [i], None)
+            img2.set_expression(r(i) - r(i - 1))
+            img2.store_in(img.get_buffer(), [i])
+        # Just building it without an exception is the point.
+        assert r.expr is not None
+
+
+class TestOrderingResolution:
+    def test_default_declaration_order(self):
+        with Function("f") as f:
+            a = Computation("a", [Var("i", 0, 4)], 0.0)
+            b = Computation("b", [Var("i", 0, 4)], 1.0)
+        beta = f.resolve_order()
+        assert beta["a"][0] < beta["b"][0]
+
+    def test_after_reorders_root(self):
+        with Function("f") as f:
+            a = Computation("a", [Var("i", 0, 4)], 0.0)
+            b = Computation("b", [Var("i", 0, 4)], 1.0)
+        a.after(b)
+        beta = f.resolve_order()
+        assert beta["b"][0] < beta["a"][0]
+
+    def test_after_at_level_shares_prefix(self):
+        with Function("f") as f:
+            a = Computation("a", [Var("i", 0, 4), Var("j", 0, 4)], 0.0)
+            b = Computation("b", [Var("i", 0, 4), Var("j", 0, 4)], 1.0)
+        b.after(a, "i")
+        beta = f.resolve_order()
+        assert beta["a"][0] == beta["b"][0]       # share the i loop
+        assert beta["a"][1] < beta["b"][1]        # ordered inside it
+
+    def test_sequence_helper(self):
+        with Function("f") as f:
+            a = Computation("a", [Var("i", 0, 2)], 0.0)
+            b = Computation("b", [Var("i", 0, 2)], 1.0)
+            c = Computation("c", [Var("i", 0, 2)], 2.0)
+        f.sequence(c, a, b)
+        beta = f.resolve_order()
+        assert beta["c"][0] < beta["a"][0] < beta["b"][0]
+
+    def test_canonical_betas_are_small_ints(self):
+        with Function("f") as f:
+            a = Computation("a", [Var("i", 0, 2)], 0.0)
+            b = Computation("b", [Var("i", 0, 2)], 1.0)
+        b.before(a)
+        beta = f.resolve_order()
+        assert sorted([beta["a"][0], beta["b"][0]]) == [0, 1]

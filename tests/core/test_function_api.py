@@ -1,0 +1,122 @@
+"""Function-level API: registration, lookup, arguments, context
+nesting, parameter auto-collection."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.core import current_function
+from repro.core.buffer import ArgKind
+from repro.core.errors import TiramisuError
+
+
+class TestContextManager:
+    def test_current_function_scoping(self):
+        assert current_function() is None
+        with Function("outer") as fo:
+            assert current_function() is fo
+            with Function("inner") as fi:
+                assert current_function() is fi
+            assert current_function() is fo
+        assert current_function() is None
+
+    def test_computation_binds_to_innermost(self):
+        with Function("outer") as fo:
+            with Function("inner") as fi:
+                c = Computation("c", [Var("i", 0, 2)], 1.0)
+        assert c in fi.computations
+        assert c not in fo.computations
+
+
+class TestLookup:
+    def test_find(self):
+        with Function("f") as f:
+            c = Computation("c", [Var("i", 0, 2)], 1.0)
+        assert f.find("c") is c
+        with pytest.raises(KeyError):
+            f.find("missing")
+
+    def test_repr_lists_computations(self):
+        with Function("f") as f:
+            Computation("a", [Var("i", 0, 2)], 1.0)
+            Computation("b", [Var("j", 0, 2)], 2.0)
+        assert "a" in repr(f) and "b" in repr(f)
+
+
+class TestParams:
+    def test_params_from_nested_bound_exprs(self):
+        N, M = Param("N"), Param("M")
+        with Function("f") as f:
+            Computation("c", [Var("i", 0, N * 2 + M - 1)], 1.0)
+        assert set(f.param_names) == {"N", "M"}
+
+    def test_declared_params_keep_order(self):
+        N, M = Param("N"), Param("M")
+        f = Function("f", params=[M, N])
+        assert f.param_names == ("M", "N")
+
+    def test_duplicate_param_not_added(self):
+        N = Param("N")
+        f = Function("f", params=[N])
+        f.add_param(Param("N"))
+        assert f.param_names == ("N",)
+
+
+class TestArguments:
+    def test_arguments_excludes_temporaries(self):
+        with Function("f") as f:
+            inp = Input("inp", [Var("x", 0, 4)])
+            i = Var("i", 0, 4)
+            mid = Computation("mid", [i], None)
+            mid.set_expression(inp(i) * 2.0)
+            out = Computation("out", [Var("i2", 0, 4)], None)
+            out.set_expression(mid(Var("i2", 0, 4)) + 1.0)
+        f.compile("cpu")   # triggers kind inference
+        names = {b.name for b in f.arguments()}
+        assert "inp" in names and "out" in names
+        assert "_mid_b" not in names
+
+    def test_kernel_argument_names(self):
+        N = Param("N")
+        with Function("f", params=[N]) as f:
+            inp = Input("inp", [Var("x", 0, N)])
+            i = Var("i", 0, N)
+            c = Computation("c", [i], None)
+            c.set_expression(inp(i))
+        k = f.compile("cpu")
+        assert set(k.argument_names()) == {"inp", "c", "N"}
+
+
+class TestErrorPaths:
+    def test_unknown_target(self):
+        with Function("f") as f:
+            Computation("c", [Var("i", 0, 2)], 1.0)
+        with pytest.raises(ValueError):
+            f.compile("fpga")
+
+    def test_empty_function_rejected_at_lower(self):
+        from repro.core.errors import CodegenError
+        f = Function("f")
+        with pytest.raises(CodegenError):
+            f.lower()
+
+    def test_duplicate_clone_name_rejected(self):
+        with Function("f") as f:
+            c = Computation("c", [Var("i", 0, 2)], 1.0)
+        clone = Computation("c2", [Var("j", 0, 2)], 1.0, fn=f)
+        with pytest.raises(TiramisuError):
+            f._register_clone(clone)   # name already present
+
+
+class TestSequenceHelper:
+    def test_sequence_executes_in_given_order(self):
+        with Function("f") as f:
+            buf = Buffer("s", [1])
+            comps = []
+            for k in range(4):
+                c = Computation(f"w{k}", [Var(f"u{k}", 0, 1)], float(k))
+                c.store_in(buf, [0])
+                comps.append(c)
+        f.sequence(comps[3], comps[1], comps[0], comps[2])
+        out = f.compile("cpu")()
+        assert out["s"][0] == 2.0    # w2 runs last

@@ -1,0 +1,140 @@
+"""GPU backend tests: grid mapping, memory hierarchy commands, and the
+paper's Figure 3(b) blur schedule end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.core.buffer import MemSpace
+from repro.core.errors import CodegenError
+
+
+def build_blur(schedule=True):
+    N, M = Param("N"), Param("M")
+    f = Function("blur_gpu", params=[N, M])
+    with f:
+        iw, jw, cw = Var("iw", 0, N - 2), Var("jw", 0, M - 2), Var("cw", 0, 3)
+        i, j, c = Var("i", 0, N - 4), Var("j", 0, M - 2), Var("c", 0, 3)
+        inp = Input("inp", [Var("x", 0, N), Var("y", 0, M), Var("z", 0, 3)])
+        bx = Computation("bx", [iw, jw, cw], None)
+        bx.set_expression((inp(iw, jw, cw) + inp(iw, jw + 1, cw)
+                           + inp(iw, jw + 2, cw)) / 3)
+        by = Computation("by", [i, j, c], None)
+        by.set_expression((bx(i, j, c) + bx(i + 1, j, c)
+                           + bx(i + 2, j, c)) / 3)
+    return f, inp, bx, by
+
+
+def blur_ref(img):
+    n, m = img.shape[:2]
+    bx = (img[:n-2, :m-2] + img[:n-2, 1:m-1] + img[:n-2, 2:m]) / 3
+    return (bx[:n-4] + bx[1:n-3] + bx[2:n-2]) / 3
+
+
+class TestFigure3b:
+    """The full GPU schedule from paper Figure 3(b): tile_gpu +
+    compute_at + cache_shared_at + SOA store_in + explicit copies."""
+
+    def run_fig3b(self):
+        f, inp, bx, by = build_blur()
+        iw, jw, cw = bx.vars
+        i, j, c = by.vars
+        bx.store_in([cw, iw, jw])     # SOA for coalescing
+        by.store_in([c, i, j])
+        by.tile_gpu("i", "j", 4, 4, Var("i0"), Var("j0"),
+                    Var("i1"), Var("j1"))
+        bx.compute_at(by, "j0")
+        bx.cache_shared_at(by, "j0")
+        cp1 = inp.host_to_device()
+        cp2 = by.device_to_host()
+        cp1.before(bx, None)
+        cp2.after(by, None)
+        return f.compile("gpu")
+
+    def test_results_match_reference(self):
+        k = self.run_fig3b()
+        rng = np.random.default_rng(0)
+        img = rng.random((18, 15, 3)).astype(np.float32)
+        out = k(inp_host=img, N=18, M=15)["by_host"]
+        assert np.allclose(out.transpose(1, 2, 0), blur_ref(img), atol=1e-5)
+
+    def test_launch_structure(self):
+        k = self.run_fig3b()
+        st = k.gpu_stats()
+        assert len(st.block_dims) == 2
+        assert len(st.thread_dims) == 2
+        assert len(st.shared_buffers) == 1
+        assert st.h2d_copies == 1 and st.d2h_copies == 1
+
+    def test_shared_footprint_includes_halo(self):
+        k = self.run_fig3b()
+        shared = k.gpu_stats().shared_buffers[0]
+        from repro.backends.evalexpr import eval_const_expr
+        shape = tuple(int(eval_const_expr(s, {})) for s in shared.sizes)
+        # SOA (c, i, j): 4x4 tile of by needs 6 rows of bx (2-row halo).
+        assert shape == (3, 6, 4)
+
+
+class TestConstantMemory:
+    def test_tag_gpu_constant_weights(self):
+        """conv weights in constant memory: the paper's explanation for
+        beating Halide on conv2D/gaussian (Section VI-B, GPU)."""
+        N = Param("N")
+        f = Function("conv1d", params=[N])
+        with f:
+            i = Var("i", 0, N - 2)
+            k = Var("k", 0, 3)
+            inp = Input("inp", [Var("x", 0, N)])
+            w = Input("w", [Var("kw", 0, 3)])
+            out = Computation("out", [i, k], None)
+            out.set_expression(out(i, k) + inp(i + k) * w(k))
+            out.store_in(Buffer("res", [N - 2]), [i])
+        w.get_buffer().tag_gpu_constant()
+        assert w.get_buffer().mem_space == MemSpace.GPU_CONSTANT
+        kern = f.compile("gpu")
+        assert len(kern.gpu_stats().constant_buffers) == 1
+        data = np.arange(8, dtype=np.float32)
+        weights = np.array([1.0, 2.0, 1.0], dtype=np.float32)
+        res = kern(inp=data, w=weights, N=8)["res"]
+        ref = data[:-2] * 1 + data[1:-1] * 2 + data[2:] * 1
+        assert np.allclose(res, ref)
+
+
+class TestCacheOfExternalBuffer:
+    def test_cache_copies_staged_input(self):
+        """Caching an input (not computed in-tile) emits a copy op."""
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            i = Var("i", 0, N)
+            j = Var("j", 0, 4)
+            inp = Input("inp", [Var("x", 0, N), Var("y", 0, 4)])
+            c = Computation("c", [i, j], None)
+            c.set_expression(inp(i, j) * 2.0)
+        c.split("i", 4, "i0", "i1")
+        inp.cache_shared_at(c, "i0")
+        k = f.compile("gpu")
+        assert "cache" in k.source or "_lo" in k.source
+        data = np.arange(32, dtype=np.float32).reshape(8, 4)
+        out = k(inp=data, N=8)["c"]
+        assert np.allclose(out, data * 2)
+
+
+class TestValidation:
+    def test_block_inside_thread_rejected(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 8), Var("j", 0, 8)], 1.0)
+        c.tags[0] = __import__("repro.core.schedule",
+                               fromlist=["Tag"]).Tag("gpu_thread")
+        c.tags[1] = __import__("repro.core.schedule",
+                               fromlist=["Tag"]).Tag("gpu_block")
+        with pytest.raises(CodegenError):
+            f.compile("gpu")
+
+    def test_gpu_without_tags_still_compiles(self):
+        f = Function("f")
+        with f:
+            Computation("c", [Var("i", 0, 8)], 1.0)
+        k = f.compile("gpu")
+        assert (k()["c"] == 1.0).all()

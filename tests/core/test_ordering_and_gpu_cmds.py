@@ -1,0 +1,139 @@
+"""Edge cases: β ordering canonicalization chains, the 4-argument gpu()
+command, set_schedule round trips, and ConstantScalar."""
+
+import numpy as np
+import pytest
+
+from repro import (Buffer, Computation, ConstantScalar, Function, Input,
+                   Param, Var)
+from repro.codegen.ast import loops_in
+
+
+class TestOrderingChains:
+    def make(self, n_comps=4):
+        f = Function("f")
+        comps = []
+        with f:
+            for k in range(n_comps):
+                c = Computation(f"c{k}", [Var(f"i{k}", 0, 4)], float(k))
+                comps.append(c)
+        return f, comps
+
+    def test_chain_of_afters(self):
+        f, (a, b, c, d) = self.make()
+        d.after(c)
+        c.after(b)
+        b.after(a)
+        beta = f.resolve_order()
+        order = sorted(beta, key=lambda nm: beta[nm][0])
+        assert order == ["c0", "c1", "c2", "c3"]
+
+    def test_before_chain(self):
+        f, (a, b, c, d) = self.make()
+        d.before(a)
+        c.before(d)
+        beta = f.resolve_order()
+        assert beta["c2"][0] < beta["c3"][0] < beta["c0"][0]
+
+    def test_mixed_levels(self):
+        f = Function("f")
+        with f:
+            a = Computation("a", [Var("i", 0, 4), Var("j", 0, 4)], 0.0)
+            b = Computation("b", [Var("i2", 0, 4), Var("j2", 0, 4)], 1.0)
+            c = Computation("c", [Var("i3", 0, 4), Var("j3", 0, 4)], 2.0)
+        b.after(a, "i")        # share i loop
+        c.after(b, "j2")       # share both loops with b (and a's i)
+        ast = f.lower()
+        outer = loops_in(ast)
+        # one shared outermost loop
+        assert len([l for l in outer if l.level == 0]) == 1
+
+    def test_interleaving_executes_in_order(self):
+        f = Function("f")
+        with f:
+            buf = Buffer("s", [1])
+            writes = []
+            for k in range(3):
+                c = Computation(f"w{k}", [Var(f"u{k}", 0, 1)], float(k))
+                c.store_in(buf, [0])
+                writes.append(c)
+        writes[0].after(writes[2])
+        writes[2].after(writes[1])
+        # execution order: w1, w2, w0 -> final value 0
+        out = f.compile("cpu")()
+        assert out["s"][0] == 0.0
+
+    def test_directive_on_inlined_comp_ignored(self):
+        f = Function("f")
+        with f:
+            a = Computation("a", [Var("i", 0, 4)], 1.0)
+            b = Computation("b", [Var("i2", 0, 4)], None)
+            b.set_expression(a(Var("i2", 0, 4)) + 1.0)
+        b.after(a)
+        a.inline()
+        out = f.compile("cpu")()
+        assert (out["b"] == 2.0).all()
+
+
+class TestGpuCommand:
+    def test_four_arg_gpu_maps_blocks_and_threads(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 8), Var("j", 0, 8),
+                                  Var("k", 0, 8), Var("l", 0, 8)], 1.0)
+        c.gpu("i", "j", "k", "l")
+        kinds = [c.tags[m].kind for m in range(4)]
+        assert kinds == ["gpu_block", "gpu_block",
+                         "gpu_thread", "gpu_thread"]
+        kernel = f.compile("gpu")
+        st = kernel.gpu_stats()
+        assert len(st.block_dims) == 2 and len(st.thread_dims) == 2
+        assert (kernel()["c"] == 1).all()
+
+
+class TestSetScheduleRoundTrips:
+    @pytest.mark.parametrize("mapping", [
+        "{ c[i,j] -> c[j,i] }",
+        "{ c[i,j] -> c[i, i + j] }",
+        "{ c[i,j] -> c[i + 1, j] }",
+        "{ c[i,j] -> c[-i, j] }",
+    ])
+    def test_semantics_preserved(self, mapping):
+        def build():
+            f = Function("f")
+            with f:
+                i, j = Var("i", 0, 5), Var("j", 0, 4)
+                c = Computation("c", [i, j], None)
+                c.set_expression(1.0 * i + 10.0 * j)
+            return f, c
+        f_ref, __ = build()
+        ref = f_ref.compile("cpu")()["c"]
+        f2, c2 = build()
+        c2.set_schedule(mapping)
+        got = f2.compile("cpu")()["c"]
+        assert np.allclose(got, ref)
+
+
+class TestConstantScalar:
+    def test_hoisted_invariant(self):
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            inp = Input("inp", [Var("x", 0, N)])
+            scale = ConstantScalar("scale", 2.5)
+            i = Var("i", 0, N)
+            c = Computation("c", [i], None)
+            c.set_expression(inp(i) * scale.ref())
+        out = f.compile("cpu")(inp=np.arange(5, dtype=np.float32), N=5)
+        assert np.allclose(out["c"], np.arange(5) * 2.5)
+
+    def test_constant_feeds_constant(self):
+        f = Function("f")
+        with f:
+            k = ConstantScalar("k", 7.0)
+            m = ConstantScalar("m", None)
+            m.set_expression(k.ref() * 2.0)
+            c = Computation("c", [Var("i", 0, 3)], None)
+            c.set_expression(m.ref() + 1.0)
+        out = f.compile("cpu")()
+        assert (out["c"] == 15.0).all()

@@ -1,0 +1,112 @@
+"""Error paths of the scheduling commands: every misuse must fail with a
+clear ScheduleError, never silently corrupt the schedule."""
+
+import pytest
+
+from repro import Computation, Function, Param, Var
+from repro.core.errors import (ScheduleError, TiramisuError,
+                               UnsupportedScheduleError)
+
+
+def comp2d(n=8):
+    f = Function("f")
+    with f:
+        c = Computation("c", [Var("i", 0, n), Var("j", 0, n)], 1.0)
+    return f, c
+
+
+class TestLevelResolution:
+    def test_unknown_level_name(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError, match="no loop level"):
+            c.parallelize("zz")
+
+    def test_out_of_range_index(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError, match="out of range"):
+            c.parallelize(5)
+
+    def test_stale_name_after_tile(self):
+        f, c = comp2d()
+        c.tile("i", "j", 4, 4)
+        with pytest.raises(ScheduleError):
+            c.vectorize("i", 8)      # 'i' no longer exists
+        c.vectorize("j1", 8)          # the new name works
+
+
+class TestSplitTile:
+    def test_split_zero(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError):
+            c.split("i", 0)
+
+    def test_split_negative(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError):
+            c.split("i", -4)
+
+    def test_tile_name_collision(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError):
+            c.tile("i", "j", 4, 4, "j", "b", "c", "d")
+
+    def test_tile_nonadjacent(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 4), Var("j", 0, 4),
+                                  Var("k", 0, 4)], 1.0)
+        with pytest.raises(ScheduleError, match="consecutive"):
+            c.tile("i", "k", 2, 2)
+
+    def test_parametric_tile_size_rejected(self):
+        f, c = comp2d()
+        with pytest.raises(Exception):
+            c.tile("i", "j", Param("T"), 4)
+
+
+class TestSetSchedule:
+    def test_arity_mismatch(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError, match="input dims"):
+            c.set_schedule("{ c[i] -> c[i] }")
+
+    def test_noninvertible(self):
+        f, c = comp2d()
+        with pytest.raises(UnsupportedScheduleError):
+            c.set_schedule("{ c[i,j] -> c[i+j] }")
+
+    def test_scaling_map_noninvertible_over_integers(self):
+        """(i, j) -> (2i, j) is injective but its inverse (o0/2, o1) is
+        not an integer affine function — rejected."""
+        f, c = comp2d()
+        with pytest.raises(UnsupportedScheduleError):
+            c.set_schedule("{ c[i,j] -> c[2i, j] }")
+
+
+class TestComputeAt:
+    def test_requires_producer_consumer(self):
+        f = Function("f")
+        with f:
+            a = Computation("a", [Var("i", 0, 4)], 1.0)
+            b = Computation("b", [Var("j", 0, 4)], 2.0)
+        with pytest.raises(ScheduleError, match="does not read"):
+            a.compute_at(b, "j")
+
+    def test_unranged_var_in_computation(self):
+        with Function("f"):
+            with pytest.raises(TiramisuError, match="needs a range"):
+                Computation("c", [Var("i")], 1.0)
+
+
+class TestSkewShift:
+    def test_skew_same_level(self):
+        f, c = comp2d()
+        with pytest.raises(ScheduleError):
+            c.skew("i", "i", 1)
+
+    def test_shift_then_execute(self):
+        """Error-free path sanity: shift by large negative offsets."""
+        f, c = comp2d()
+        c.shift("i", -100)
+        out = f.compile("cpu")()["c"]
+        assert (out == 1).all()

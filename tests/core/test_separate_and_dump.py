@@ -1,0 +1,142 @@
+"""Full/partial tile separation and the four-layer IR dump."""
+
+import numpy as np
+import pytest
+
+from repro import Computation, Function, Input, Param, Var
+from repro.codegen.ast import loops_in, stmts_in
+from repro.isl import count
+from repro.machine import GpuCostModel
+
+
+def counting_comp(n=21, m=21, fn_name="f"):
+    f = Function(fn_name)
+    with f:
+        c = Computation("c", [Var("i", 0, n), Var("j", 0, m)], None)
+        c.set_expression(c(Var("i", 0, n), Var("j", 0, m)) + 1.0)
+    return f, c
+
+
+class TestSeparate:
+    def test_partition_is_exact(self):
+        f, c = counting_comp()
+        c.tile("i", "j", 8, 8)
+        part = c.separate("i1")
+        assert part is not None
+        total = count(c.instances) + count(part.instances)
+        assert total == 21 * 21
+
+    def test_pieces_disjoint_and_correct(self):
+        f, c = counting_comp()
+        c.tile("i", "j", 8, 8)
+        c.separate_all("i1", "j1")
+        out = f.compile("cpu")()["c"]
+        assert (out == 1).all()
+
+    def test_nothing_to_separate_on_exact_division(self):
+        f, c = counting_comp(n=32, m=32)
+        c.tile("i", "j", 8, 8)
+        assert c.separate("i1") is None
+
+    def test_parametric_separation(self):
+        N = Param("N")
+        f = Function("fp", params=[N])
+        with f:
+            c = Computation("c", [Var("i", 0, N)], None)
+            c.set_expression(c(Var("i", 0, N)) + 1.0)
+        c.split("i", 8)
+        part = c.separate("i1")
+        assert part is not None
+        for n in (8, 9, 29, 64):
+            out = f.compile("cpu")(N=n)["c"]
+            assert (out == 1).all(), n
+
+    def test_partial_drops_vector_tag(self):
+        f, c = counting_comp()
+        c.tile("i", "j", 8, 8)
+        c.vectorize("j1", 8)
+        part = c.separate("j1")
+        assert all(t.kind != "vector" for t in part.tags.values())
+        assert c.tags[3].kind == "vector"
+
+    def test_separation_removes_gpu_divergence(self):
+        """The paper's divergence-avoidance mechanism, measured."""
+        g = Function("g")
+        with g:
+            d = Computation("d", [Var("i", 0, 70), Var("j", 0, 70)], 1.0)
+        d.tile_gpu("i", "j", 16, 16)
+        assert GpuCostModel(g, {}).estimate_gpu().divergent
+        d.separate_all("i1", "j1")
+        assert not GpuCostModel(g, {}).estimate_gpu().divergent
+        out = g.compile("cpu")()
+        assert (next(iter(out.values())) == 1).all()
+
+    def test_full_tile_loop_is_guard_free(self):
+        f, c = counting_comp()
+        c.tile("i", "j", 8, 8)
+        c.separate_all("i1", "j1")
+        ast = f.lower()
+        for stmt in stmts_in(ast):
+            if stmt.comp is c:
+                assert stmt.guards == []
+
+
+class TestDumpIR:
+    def make(self):
+        N = Param("N")
+        f = Function("pipe", params=[N])
+        with f:
+            inp = Input("inp", [Var("x", 0, N)])
+            i = Var("i", 0, N)
+            a = Computation("a", [i], None)
+            a.set_expression(inp(i) * 2.0)
+            b = Computation("b", [Var("i2", 0, N)], None)
+            b.set_expression(a(Var("i2", 0, N)) + 1.0)
+        return f, inp, a, b
+
+    def test_contains_all_layers(self):
+        f, *_ = self.make()
+        text = f.dump_ir()
+        for layer in ("Layer I", "Layer II", "Layer III", "Layer IV"):
+            assert layer in text
+
+    def test_layer1_has_domains_and_exprs(self):
+        f, inp, a, b = self.make()
+        text = f.dump_ir()
+        assert "{ a[i] :" in text
+        assert "(inp(i) * 2.0)" in text
+
+    def test_layer2_reflects_schedule(self):
+        f, inp, a, b = self.make()
+        a.split("i", 4)
+        a.parallelize("i0")
+        text = f.dump_ir()
+        assert "'i0': 'parallel'" in text
+        assert "dims=['i0', 'i1']" in text
+
+    def test_layer3_reflects_store_in(self):
+        f, inp, a, b = self.make()
+        from repro import Buffer
+        buf = Buffer("zz", [64])
+        i = Var("i", 0, Param("N"))
+        a.store_in(buf, [i])
+        text = f.dump_ir()
+        assert "zz[" in text
+
+    def test_layer4_lists_operations(self):
+        f, inp, a, b = self.make()
+        op = inp.host_to_device()
+        op.before(a, None)
+        text = f.dump_ir()
+        assert "copy" in text and "inp_host" in text
+
+    def test_ordering_visible_in_beta(self):
+        f, inp, a, b = self.make()
+        b.before(a)
+        text = f.dump_ir()
+        a_beta = [l for l in text.splitlines()
+                  if l.strip().startswith("a:") and "beta=" in l]
+        b_beta = [l for l in text.splitlines()
+                  if l.strip().startswith("b:") and "beta=" in l]
+        assert a_beta and b_beta
+        assert "beta=[2" in a_beta[0] and "beta=[1" in b_beta[0]

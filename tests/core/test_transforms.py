@@ -1,0 +1,224 @@
+"""Semantics of loop-nest transformations, verified by enumerating the
+scheduled instance sets (each transformation must be a bijection on the
+iteration domain — "once and only once")."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Computation, Function, Param, Var
+from repro.core.errors import ScheduleError
+from repro.isl import count, points
+
+
+def make_comp(n=8, m=6):
+    f = Function("f")
+    with f:
+        c = Computation("c", [Var("i", 0, n), Var("j", 0, m)], 0.0)
+    return f, c
+
+
+def original_points(comp, params=()):
+    """Recover original (i, j, ...) coordinates of every scheduled
+    instance via the rev expressions."""
+    out = []
+    for t in points(comp.instances, dict(params)):
+        values = {("o", k): v for k, v in enumerate(t)}
+        out.append(tuple(int(comp.rev[nm].evaluate(values))
+                         for nm in comp.var_names))
+    return sorted(out)
+
+
+class TestSplit:
+    def test_split_preserves_instances(self):
+        f, c = make_comp(10, 1)
+        base = original_points(c)
+        c.split("i", 4)
+        assert c.time_names == ["i0", "i1", "j"]
+        assert original_points(c) == base
+
+    def test_split_nondivisible(self):
+        f, c = make_comp(7, 1)
+        c.split("i", 3)
+        assert count(c.instances) == 7
+        # partial tile: i0 = 2 has only one iteration
+        assert original_points(c) == [(i, 0) for i in range(7)]
+
+    def test_split_bad_factor(self):
+        f, c = make_comp()
+        with pytest.raises(ScheduleError):
+            c.split("i", 0)
+
+    def test_split_name_collision(self):
+        f, c = make_comp()
+        with pytest.raises(ScheduleError):
+            c.split("i", 2, "j", "i1")
+
+
+class TestInterchange:
+    def test_interchange_swaps_names(self):
+        f, c = make_comp()
+        c.interchange("i", "j")
+        assert c.time_names == ["j", "i"]
+
+    def test_interchange_preserves_instances(self):
+        f, c = make_comp(5, 3)
+        base = original_points(c)
+        c.interchange("i", "j")
+        assert original_points(c) == base
+
+    def test_interchange_changes_execution_order(self):
+        f, c = make_comp(2, 3)
+        c.interchange("i", "j")
+        # time points now iterate j-major.
+        ts = sorted(points(c.instances))
+        assert ts == [(j, i) for j in range(3) for i in range(2)]
+
+    def test_self_interchange_noop(self):
+        f, c = make_comp()
+        c.interchange("i", "i")
+        assert c.time_names == ["i", "j"]
+
+
+class TestShiftSkew:
+    def test_shift(self):
+        f, c = make_comp(4, 1)
+        c.shift("i", 10)
+        ts = sorted(points(c.instances))
+        assert ts == [(i + 10, 0) for i in range(4)]
+        assert original_points(c) == [(i, 0) for i in range(4)]
+
+    def test_skew(self):
+        f, c = make_comp(3, 3)
+        c.skew("i", "j", 1)
+        ts = sorted(points(c.instances))
+        assert ts == sorted((i, j + i) for i in range(3) for j in range(3))
+        assert original_points(c) == sorted(
+            (i, j) for i in range(3) for j in range(3))
+
+    def test_skew_same_level_rejected(self):
+        f, c = make_comp()
+        with pytest.raises(ScheduleError):
+            c.skew("i", "i", 1)
+
+
+class TestTile:
+    def test_tile_names_and_count(self):
+        f, c = make_comp(8, 8)
+        c.tile("i", "j", 4, 4, "i0", "j0", "i1", "j1")
+        assert c.time_names == ["i0", "j0", "i1", "j1"]
+        assert count(c.instances) == 64
+        assert original_points(c) == sorted(
+            (i, j) for i in range(8) for j in range(8))
+
+    def test_tile_partial_tiles(self):
+        f, c = make_comp(5, 7)
+        c.tile("i", "j", 4, 4)
+        assert count(c.instances) == 35
+
+    def test_tile_point_mapping(self):
+        f, c = make_comp(8, 8)
+        c.tile("i", "j", 4, 4)
+        # original (5, 6) -> tile (1, 1), offset (1, 2)
+        assert c.instances.contains_point([1, 1, 1, 2])
+
+    def test_tile_nonadjacent_rejected(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 4), Var("j", 0, 4),
+                                  Var("k", 0, 4)], 0.0)
+        with pytest.raises(ScheduleError):
+            c.tile("i", "k", 2, 2)
+
+    def test_two_level_tiling_composes(self):
+        f, c = make_comp(16, 16)
+        c.tile("i", "j", 8, 8, "i0", "j0", "i1", "j1")
+        c.tile("i1", "j1", 2, 2, "i10", "j10", "i11", "j11")
+        assert count(c.instances) == 256
+        assert original_points(c) == sorted(
+            (i, j) for i in range(16) for j in range(16))
+
+
+class TestSetSchedule:
+    def test_explicit_interchange_map(self):
+        f, c = make_comp(3, 2)
+        c.set_schedule("{ c[i,j] -> c[j,i] }")
+        ts = sorted(points(c.instances))
+        assert ts == [(j, i) for j in range(2) for i in range(3)]
+        assert original_points(c) == sorted(
+            (i, j) for i in range(3) for j in range(2))
+
+    def test_skew_map(self):
+        f, c = make_comp(3, 3)
+        c.set_schedule("{ c[i,j] -> c[i, i+j] }")
+        assert original_points(c) == sorted(
+            (i, j) for i in range(3) for j in range(3))
+
+    def test_noninvertible_rejected(self):
+        from repro.core.errors import UnsupportedScheduleError
+        f, c = make_comp()
+        with pytest.raises(UnsupportedScheduleError):
+            c.set_schedule("{ c[i,j] -> c[i] }")
+
+    def test_arity_mismatch_rejected(self):
+        f, c = make_comp()
+        with pytest.raises(ScheduleError):
+            c.set_schedule("{ c[i] -> c[i] }")
+
+
+class TestCompositionProperty:
+    """Random composition of transformations must remain a bijection on
+    the original domain (the core 'once and only once' invariant)."""
+
+    @given(st.lists(st.sampled_from(
+        ["split_i", "split_j", "interchange", "shift", "skew"]),
+        min_size=1, max_size=4),
+        st.integers(2, 4), st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_random_composition_bijective(self, ops, n, m):
+        f, c = make_comp(n, m)
+        base = original_points(c)
+        fresh = iter(range(100))
+        for op in ops:
+            names = c.time_names
+            if op == "split_i":
+                k = next(fresh)
+                c.split(names[0], 2, f"s{k}", f"s{k}_")
+            elif op == "split_j":
+                k = next(fresh)
+                c.split(names[-1], 3, f"u{k}", f"u{k}_")
+            elif op == "interchange":
+                c.interchange(names[0], names[-1])
+            elif op == "shift":
+                c.shift(names[0], 5)
+            elif op == "skew" and len(names) >= 2:
+                c.skew(names[0], names[1], 2)
+        assert original_points(c) == base
+        assert count(c.instances) == len(base)
+
+
+class TestTags:
+    def test_tags_follow_interchange(self):
+        f, c = make_comp()
+        c.parallelize("i")
+        c.interchange("i", "j")
+        assert c.tags[1].kind == "parallel"
+
+    def test_tags_shift_on_split(self):
+        f, c = make_comp()
+        c.parallelize("j")
+        c.split("i", 2)
+        assert c.tags[2].kind == "parallel"
+
+    def test_vectorize_unroll_tags(self):
+        f, c = make_comp()
+        c.vectorize("j", 8)
+        c.unroll("i", 4)
+        assert c.tags[1].kind == "vector" and c.tags[1].factor == 8
+        assert c.tags[0].kind == "unroll" and c.tags[0].factor == 4
+
+    def test_gpu_tags(self):
+        f, c = make_comp(16, 16)
+        c.tile_gpu("i", "j", 4, 4, Var("i0"), Var("j0"), Var("i1"), Var("j1"))
+        kinds = [c.tags[k].kind for k in range(4)]
+        assert kinds == ["gpu_block", "gpu_block", "gpu_thread", "gpu_thread"]

@@ -1,0 +1,119 @@
+"""Property-based tests of the set/map algebra: the semantic laws the
+compiler relies on, checked against point enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl import Map, Set, count, parse_map, parse_set, points
+
+
+@st.composite
+def small_sets(draw):
+    lo = draw(st.integers(-3, 2))
+    hi = draw(st.integers(lo, lo + 6))
+    stride = draw(st.sampled_from([None, 2, 3]))
+    if stride is None:
+        return parse_set(f"{{ [i] : {lo} <= i <= {hi} }}")
+    return parse_set(f"{{ [i] : {lo} <= i <= {hi} and "
+                     f"exists e : i = {stride}e }}")
+
+
+@st.composite
+def affine_maps(draw):
+    a = draw(st.integers(-2, 2).filter(lambda v: v != 0))
+    b = draw(st.integers(-4, 4))
+    return parse_map(f"{{ [i] -> [{a}i + {b}] }}"), (a, b)
+
+
+class TestSetLaws:
+    @given(small_sets(), small_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_union_commutes(self, s, t):
+        assert sorted(points(s | t)) == sorted(points(t | s))
+
+    @given(small_sets(), small_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_is_pointwise(self, s, t):
+        expected = sorted(set(points(s)) & set(points(t)))
+        assert sorted(points(s & t)) == expected
+
+    @given(small_sets(), small_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_subtract_is_pointwise(self, s, t):
+        if any(p.n_div for p in t.pieces):
+            return  # subtract requires div-free subtrahend
+        expected = sorted(set(points(s)) - set(points(t)))
+        assert sorted(points(s - t)) == expected
+
+    @given(small_sets(), small_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_subset_iff_points_subset(self, s, t):
+        if any(p.n_div for p in t.pieces):
+            return
+        expected = set(points(s)) <= set(points(t))
+        assert s.is_subset(t) == expected
+
+    @given(small_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_emptiness_matches_enumeration(self, s):
+        assert s.is_empty() == (count(s) == 0)
+
+
+class TestMapLaws:
+    @given(affine_maps(), small_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_is_pointwise_image(self, m_ab, s):
+        m, (a, b) = m_ab
+        image = sorted({(a * p[0] + b,) for p in points(s)})
+        got = sorted(points(m.apply(s)))
+        assert got == image
+
+    @given(affine_maps(), affine_maps(), small_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_composition_associates_with_apply(self, m1_ab, m2_ab, s):
+        m1, __ = m1_ab
+        m2, ___ = m2_ab
+        via_compose = sorted(points(m1.apply_range(m2).apply(s)))
+        via_seq = sorted(points(m2.apply(m1.apply(s))))
+        assert via_compose == via_seq
+
+    @given(affine_maps(), small_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_roundtrip_superset(self, m_ab, s):
+        """S ⊆ m⁻¹(m(S)) for any map."""
+        m, __ = m_ab
+        roundtrip = m.reverse().apply(m.apply(s))
+        assert set(points(s)) <= set(points(roundtrip))
+
+    @given(affine_maps())
+    @settings(max_examples=30, deadline=None)
+    def test_domain_range_of_restricted_map(self, m_ab):
+        m, (a, b) = m_ab
+        box = parse_set("{ [i] : 0 <= i <= 5 }")
+        restricted = m.intersect_domain(box)
+        assert sorted(points(restricted.domain())) == \
+            [(i,) for i in range(6)]
+        assert sorted(points(restricted.range())) == \
+            sorted({(a * i + b,) for i in range(6)})
+
+
+class TestUnimodularBijectivity:
+    """Schedule transformations are bijections; verify the map forms the
+    compiler uses (split/skew/shift patterns) against enumeration."""
+
+    @given(st.integers(2, 5), st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_split_map_bijective(self, factor, n):
+        m = parse_map(f"{{ [i] -> [o, p] : o = floor(i/{factor}) and "
+                      f"p = i - {factor}o }}")
+        src = parse_set(f"{{ [i] : 0 <= i <= {n} }}")
+        img = m.apply(src)
+        assert count(img) == n + 1
+
+    @given(st.integers(-3, 3), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_skew_map_bijective(self, f, n):
+        m = parse_map(f"{{ [i,j] -> [i, j + {f}i] }}")
+        src = parse_set(f"{{ [i,j] : 0 <= i < {n} and 0 <= j < {n} }}")
+        assert count(m.apply(src)) == n * n

@@ -1,0 +1,155 @@
+"""Unit tests for BasicSet / BasicMap operations."""
+
+import pytest
+
+from repro.isl import (BasicMap, BasicSet, Constraint, LinExpr, Space,
+                      parse_map, parse_set)
+from repro.isl.linexpr import IN, OUT, PARAM
+
+
+class TestConstruction:
+    def test_universe_nonempty(self):
+        s = BasicSet.universe(Space.set_space(("i", "j")))
+        assert not s.is_empty()
+
+    def test_empty(self):
+        s = BasicSet.empty(Space.set_space(("i",)))
+        assert s.is_empty()
+
+    def test_from_box(self):
+        s = BasicSet.from_box(["i", "j"], [(0, 4), (2, 3)])
+        assert s.contains_point([0, 2])
+        assert s.contains_point([4, 3])
+        assert not s.contains_point([5, 3])
+        assert not s.contains_point([0, 1])
+
+    def test_constraint_out_of_range_rejected(self):
+        space = Space.set_space(("i",))
+        bad = Constraint.ge(LinExpr.dim(OUT, 3))
+        with pytest.raises(ValueError):
+            BasicSet(space, [bad])
+
+    def test_identity_map(self):
+        m = BasicMap.identity(Space.map_space(("i",), ("j",)))
+        assert m.contains_point([4], [4])
+        assert not m.contains_point([4], [5])
+
+    def test_from_affine_exprs(self):
+        sp = Space.map_space(("i", "j"), ("x", "y"))
+        m = BasicMap.from_affine_exprs(
+            sp, [LinExpr.dim(IN, 1), LinExpr.dim(IN, 0) + 1])
+        assert m.contains_point([2, 7], [7, 3])
+
+
+class TestAlgebra:
+    def test_intersect(self):
+        a = BasicSet.from_box(["i"], [(0, 10)])
+        b = BasicSet.from_box(["i"], [(5, 20)])
+        c = a.intersect(b)
+        assert c.contains_point([5]) and c.contains_point([10])
+        assert not c.contains_point([4]) and not c.contains_point([11])
+
+    def test_intersect_aligns_params(self):
+        a = parse_set("[N] -> { [i] : 0 <= i < N }").pieces[0]
+        b = parse_set("[M] -> { [i] : i < M }").pieces[0]
+        c = a.intersect(b)
+        assert set(c.space.params) == {"N", "M"}
+        assert c.contains_point([2], param_vals={"N": 5, "M": 4})
+        assert not c.contains_point([4], param_vals={"N": 5, "M": 4})
+
+    def test_fix_and_bounds(self):
+        s = BasicSet.from_box(["i", "j"], [(0, 9), (0, 9)])
+        s2 = s.fix(OUT, 0, 3)
+        assert s2.contains_point([3, 5])
+        assert not s2.contains_point([4, 5])
+        s3 = s.lower_bound(OUT, 1, 8)
+        assert s3.contains_point([0, 8])
+        assert not s3.contains_point([0, 7])
+
+    def test_equate(self):
+        s = BasicSet.from_box(["i", "j"], [(0, 9), (0, 9)])
+        diag = s.equate(OUT, 0, OUT, 1)
+        assert diag.contains_point([4, 4])
+        assert not diag.contains_point([4, 5])
+
+
+class TestProjection:
+    def test_project_onto_divs_exact(self):
+        # {[i, j] : j = 2i, 0<=i<5} projected on j: even j in 0..8.
+        s = parse_set("{ [i,j] : j = 2i and 0 <= i < 5 }").pieces[0]
+        proj = s.project_onto_divs(OUT, [0])
+        assert proj.space.out_dims == ("j",)
+        assert proj.contains_point([4])
+        assert not proj.contains_point([3])
+        assert not proj.contains_point([10])
+
+    def test_insert_dims(self):
+        s = BasicSet.from_box(["i"], [(0, 3)])
+        s2 = s.insert_dims(OUT, 0, ["z"])
+        assert s2.space.out_dims == ("z", "i")
+        assert s2.contains_point([100, 2])  # z unconstrained
+        assert not s2.contains_point([0, 4])
+
+
+class TestMapStructure:
+    def test_reverse(self):
+        m = parse_map("{ [i] -> [i + 3] }").pieces[0]
+        r = m.reverse()
+        assert r.contains_point([8], [5])
+
+    def test_domain_range(self):
+        m = parse_map("{ [i] -> [2i] : 0 <= i < 4 }").pieces[0]
+        dom = m.domain()
+        rng = m.range()
+        assert dom.contains_point([3]) and not dom.contains_point([4])
+        assert rng.contains_point([6]) and not rng.contains_point([5])
+
+    def test_apply(self):
+        m = parse_map("{ [i] -> [i + 1] }").pieces[0]
+        s = BasicSet.from_box(["i"], [(0, 3)])
+        img = m.apply(s)
+        assert img.contains_point([4])
+        assert not img.contains_point([0])
+
+    def test_apply_range_composition(self):
+        f = parse_map("{ [i] -> [i + 1] }").pieces[0]
+        g = parse_map("{ [i] -> [3i] }").pieces[0]
+        fg = f.apply_range(g)   # i -> 3(i+1)
+        assert fg.contains_point([2], [9])
+        assert not fg.contains_point([2], [8])
+
+    def test_intersect_domain_range(self):
+        m = parse_map("{ [i] -> [i] }").pieces[0]
+        s = BasicSet.from_box(["i"], [(2, 5)])
+        md = m.intersect_domain(s)
+        assert md.contains_point([3], [3])
+        assert not md.contains_point([1], [1])
+        mr = m.intersect_range(s)
+        assert mr.contains_point([5], [5])
+        assert not mr.contains_point([6], [6])
+
+    def test_to_set_flattens(self):
+        m = parse_map("{ [i] -> [j] : j = i + 1 and 0 <= i < 3 }").pieces[0]
+        s = m.to_set()
+        assert len(s.space.out_dims) == 2
+        assert s.contains_point([1, 2])
+        assert not s.contains_point([1, 3])
+
+    def test_identity_map_of_set(self):
+        s = BasicSet.from_box(["i"], [(0, 3)])
+        m = s.identity_map()
+        assert m.contains_point([2], [2])
+        assert not m.contains_point([4], [4])
+        assert not m.contains_point([2], [3])
+
+
+class TestContainsPoint:
+    def test_with_divs_searches_existentials(self):
+        s = parse_set("{ [i] : exists e : i = 4e }").pieces[0]
+        assert s.contains_point([8])
+        assert not s.contains_point([6])
+
+    def test_param_values(self):
+        s = parse_set("[N] -> { [i] : i = N }").pieces[0]
+        assert s.contains_point([7], param_vals={"N": 7})
+        assert not s.contains_point([7], param_vals={"N": 8})

@@ -1,0 +1,77 @@
+"""Unit tests for Constraint normalisation and queries."""
+
+import pytest
+
+from repro.isl.constraint import EQ, GE, Constraint
+from repro.isl.linexpr import OUT, PARAM, LinExpr
+
+
+def d(kind, idx, coeff=1):
+    return LinExpr.dim(kind, idx, coeff)
+
+
+class TestNormalisation:
+    def test_equality_gcd_divided(self):
+        c = Constraint.eq(d(OUT, 0, 4) + 8)
+        assert c.expr.coeff((OUT, 0)) == 1
+        assert c.expr.const == 2
+
+    def test_equality_sign_canonical(self):
+        c1 = Constraint.eq(d(OUT, 0) - 3)
+        c2 = Constraint.eq(3 - d(OUT, 0))
+        assert c1 == c2
+
+    def test_inequality_tightened(self):
+        # 2x + 3 >= 0 over integers means x >= -1, i.e. x + 1 >= 0.
+        c = Constraint.ge(d(OUT, 0, 2) + 3)
+        assert c.expr.coeff((OUT, 0)) == 1
+        assert c.expr.const == 1
+
+    def test_inequality_positive_const_floor(self):
+        # 2x + 4 >= 0 -> x + 2 >= 0.
+        c = Constraint.ge(d(OUT, 0, 2) + 4)
+        assert c.expr.const == 2
+
+    def test_inconsistent_equality_kept(self):
+        # 2x = 1 has no integer solution; must not be silently rescaled.
+        c = Constraint.eq(d(OUT, 0, 2) - 1)
+        assert c.is_trivially_false() or c.expr.coeff((OUT, 0)) == 2
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("maybe", d(OUT, 0))
+
+
+class TestTrivia:
+    def test_trivially_true(self):
+        assert Constraint.ge(LinExpr.constant(0)).is_trivially_true()
+        assert Constraint.ge(LinExpr.constant(5)).is_trivially_true()
+        assert Constraint.eq(LinExpr.constant(0)).is_trivially_true()
+
+    def test_trivially_false(self):
+        assert Constraint.ge(LinExpr.constant(-1)).is_trivially_false()
+        assert Constraint.eq(LinExpr.constant(2)).is_trivially_false()
+
+    def test_nontrivial(self):
+        c = Constraint.ge(d(OUT, 0))
+        assert not c.is_trivially_true()
+        assert not c.is_trivially_false()
+
+
+class TestOps:
+    def test_le_constructor(self):
+        # x - 5 <= 0  <=>  5 - x >= 0
+        c = Constraint.le(d(OUT, 0) - 5)
+        assert c.kind == GE
+        assert c.satisfied_by({(OUT, 0): 5})
+        assert not c.satisfied_by({(OUT, 0): 6})
+
+    def test_satisfied_by(self):
+        c = Constraint.eq(d(OUT, 0) - d(PARAM, 0))
+        assert c.satisfied_by({(OUT, 0): 3, (PARAM, 0): 3})
+        assert not c.satisfied_by({(OUT, 0): 3, (PARAM, 0): 4})
+
+    def test_substitute(self):
+        c = Constraint.ge(d(OUT, 0) - 1)
+        r = c.substitute((OUT, 0), LinExpr.constant(0))
+        assert r.is_trivially_false()

@@ -1,0 +1,71 @@
+"""Tests for point enumeration, counting, and simplification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl import count, gist, parse_set, points, remove_redundant
+
+
+class TestEnumerate:
+    def test_triangle(self):
+        s = parse_set("{ [i,j] : 0 <= i < 4 and 0 <= j <= i }")
+        assert count(s) == 10
+
+    def test_parametric_needs_value(self):
+        s = parse_set("[N] -> { [i] : 0 <= i < N }")
+        assert count(s, {"N": 7}) == 7
+        with pytest.raises(ValueError):
+            list(points(s))
+
+    def test_union_deduplicates(self):
+        s = parse_set("{ [i] : 0 <= i < 6 or 3 <= i < 9 }")
+        assert count(s) == 9
+
+    def test_stride_with_divs(self):
+        s = parse_set("{ [i] : exists e : i = 2e and 0 <= i < 11 }")
+        assert sorted(points(s)) == [(0,), (2,), (4,), (6,), (8,), (10,)]
+
+    def test_empty(self):
+        s = parse_set("{ [i] : i > 3 and i < 2 }")
+        assert count(s) == 0
+
+    def test_unbounded_raises(self):
+        s = parse_set("{ [i] : i >= 0 }")
+        with pytest.raises(ValueError):
+            list(points(s))
+
+    @given(st.integers(0, 6), st.integers(0, 6), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_box_count_formula(self, n, m, t):
+        s = parse_set(f"{{ [i,j] : 0 <= i < {n} and 0 <= j < {m} "
+                      f"and i + j >= {t} }}")
+        expected = sum(1 for i in range(n) for j in range(m) if i + j >= t)
+        assert count(s) == expected
+
+
+class TestSimplify:
+    def test_remove_redundant_drops_implied(self):
+        s = parse_set("{ [i] : 0 <= i < 10 and i >= -5 and 2i >= -9 }")
+        r = remove_redundant(s.pieces[0])
+        assert len(r.constraints) == 2
+
+    def test_remove_redundant_preserves_set(self):
+        s = parse_set("{ [i,j] : 0 <= i < 8 and 0 <= j < 8 and i + j < 20 "
+                      "and i < 100 }")
+        r = remove_redundant(s.pieces[0])
+        from repro.isl import Set
+        assert Set([r]).is_equal(s)
+
+    def test_gist_drops_context_implied(self):
+        s = parse_set("{ [i] : 0 <= i and i < 10 }").pieces[0]
+        ctx = parse_set("{ [i] : i >= 0 }").pieces[0]
+        g = gist(s, ctx)
+        # Only the upper bound should remain.
+        assert len(g.constraints) == 1
+
+    def test_gist_keeps_unimplied(self):
+        s = parse_set("{ [i] : 0 <= i < 10 }").pieces[0]
+        ctx = parse_set("{ [i] : i < 100 }").pieces[0]
+        g = gist(s, ctx)
+        assert len(g.constraints) == 2

@@ -1,0 +1,122 @@
+"""Unit tests for LinExpr: affine expression arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.isl.linexpr import IN, OUT, PARAM, LinExpr
+
+
+def d(kind, idx, coeff=1):
+    return LinExpr.dim(kind, idx, coeff)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        e = LinExpr({(OUT, 0): 0, (OUT, 1): 2}, 3)
+        assert (OUT, 0) not in e.coeffs
+        assert e.coeff((OUT, 1)) == 2
+
+    def test_constant(self):
+        e = LinExpr.constant(7)
+        assert e.is_constant()
+        assert e.const == 7
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            LinExpr({("bogus", 0): 1})
+        with pytest.raises(ValueError):
+            LinExpr({(OUT, -1): 1})
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = d(OUT, 0) + d(OUT, 1) + 5
+        assert e.coeff((OUT, 0)) == 1
+        assert e.const == 5
+
+    def test_add_cancels(self):
+        e = d(OUT, 0) - d(OUT, 0)
+        assert e.is_constant()
+        assert e.const == 0
+
+    def test_neg(self):
+        e = -(d(OUT, 0, 3) + 2)
+        assert e.coeff((OUT, 0)) == -3
+        assert e.const == -2
+
+    def test_scalar_mul(self):
+        e = (d(OUT, 0) + 1) * 4
+        assert e.coeff((OUT, 0)) == 4
+        assert e.const == 4
+
+    def test_mul_by_zero(self):
+        e = (d(OUT, 0) + 1) * 0
+        assert e == LinExpr()
+
+    def test_rsub(self):
+        e = 3 - d(PARAM, 0)
+        assert e.coeff((PARAM, 0)) == -1
+        assert e.const == 3
+
+
+class TestQueries:
+    def test_content(self):
+        e = d(OUT, 0, 6) + d(OUT, 1, 9) + 3
+        assert e.content() == 3
+
+    def test_coeff_gcd_excludes_const(self):
+        e = d(OUT, 0, 4) + d(OUT, 1, 6) + 3
+        assert e.coeff_gcd() == 2
+
+    def test_involves(self):
+        e = d(OUT, 0) + d(PARAM, 2)
+        assert e.involves((OUT, 0))
+        assert not e.involves((OUT, 1))
+        assert e.involves_kind(PARAM)
+        assert not e.involves_kind(IN)
+
+    def test_evaluate(self):
+        e = d(OUT, 0, 2) + d(PARAM, 0, -1) + 7
+        assert e.evaluate({(OUT, 0): 3, (PARAM, 0): 4}) == 2 * 3 - 4 + 7
+
+
+class TestScaling:
+    def test_scaled_to_int(self):
+        e = LinExpr({(OUT, 0): Fraction(1, 2), (OUT, 1): Fraction(1, 3)},
+                    Fraction(1, 6))
+        scaled = e.scaled_to_int()
+        assert scaled.coeff((OUT, 0)) == 3
+        assert scaled.coeff((OUT, 1)) == 2
+        assert scaled.const == 1
+
+    def test_divided_by_content(self):
+        e = LinExpr({(OUT, 0): 4, (OUT, 1): 8}, 12)
+        r = e.divided_by_content()
+        assert r.coeff((OUT, 0)) == 1
+        assert r.const == 3
+
+
+class TestSubstitution:
+    def test_substitute(self):
+        e = d(OUT, 0, 2) + d(OUT, 1)
+        r = e.substitute((OUT, 0), d(OUT, 2) + 1)
+        assert r.coeff((OUT, 2)) == 2
+        assert r.coeff((OUT, 1)) == 1
+        assert r.const == 2
+        assert not r.involves((OUT, 0))
+
+    def test_substitute_absent_dim_is_noop(self):
+        e = d(OUT, 0)
+        assert e.substitute((OUT, 5), LinExpr.constant(9)) == e
+
+    def test_remap_accumulates(self):
+        e = d(OUT, 0) + d(OUT, 1)
+        r = e.remap({(OUT, 0): (OUT, 1)})
+        assert r.coeff((OUT, 1)) == 2
+
+    def test_equality_and_hash(self):
+        a = d(OUT, 0) + 1
+        b = LinExpr({(OUT, 0): 1}, 1)
+        assert a == b
+        assert hash(a) == hash(b)

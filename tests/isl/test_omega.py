@@ -1,0 +1,115 @@
+"""The Omega test vs brute-force enumeration (property-based).
+
+The central soundness property of the whole compiler: `is_empty` must be
+*exact* on the conjunctions that legality checking and codegen rely on.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl import BasicSet, Constraint, LinExpr, parse_set
+from repro.isl.linexpr import OUT
+
+
+def brute_force_empty(bset: BasicSet, lo=-6, hi=6) -> bool:
+    """Enumerate a box; sound only for sets fully inside the box, which
+    the strategy below guarantees by adding explicit box constraints."""
+    n = len(bset.space.out_dims)
+    n_div = bset.n_div
+    for point in itertools.product(range(lo, hi + 1), repeat=n + n_div):
+        values = {(OUT, k): point[k] for k in range(n)}
+        values.update({("d", k): point[n + k] for k in range(n_div)})
+        if all(c.satisfied_by(values) for c in bset.constraints):
+            return False
+    return True
+
+
+@st.composite
+def bounded_random_sets(draw):
+    n_dims = draw(st.integers(1, 3))
+    names = tuple(f"x{k}" for k in range(n_dims))
+    bounds = [(draw(st.integers(-4, 0)), draw(st.integers(0, 4)))
+              for _ in range(n_dims)]
+    bset = BasicSet.from_box(names, bounds)
+    n_extra = draw(st.integers(0, 3))
+    for _ in range(n_extra):
+        coeffs = {(OUT, k): draw(st.integers(-3, 3))
+                  for k in range(n_dims)}
+        const = draw(st.integers(-6, 6))
+        kind = draw(st.sampled_from(["eq", "ge"]))
+        expr = LinExpr(coeffs, const)
+        bset = bset.add_constraint(
+            Constraint.eq(expr) if kind == "eq" else Constraint.ge(expr))
+    return bset
+
+
+@given(bounded_random_sets())
+@settings(max_examples=150, deadline=None)
+def test_omega_matches_bruteforce(bset):
+    assert bset.is_empty() == brute_force_empty(bset)
+
+
+@st.composite
+def strided_sets(draw):
+    """Sets with existential dims: i = s*e + r patterns."""
+    stride = draw(st.integers(2, 5))
+    residue = draw(st.integers(0, 4))
+    lo = draw(st.integers(-5, 0))
+    hi = draw(st.integers(0, 5))
+    return parse_set(
+        f"{{ [i] : exists e : i = {stride}e + {residue} "
+        f"and {lo} <= i <= {hi} }}"), stride, residue, lo, hi
+
+
+@given(strided_sets())
+@settings(max_examples=60, deadline=None)
+def test_omega_strided(data):
+    sset, stride, residue, lo, hi = data
+    expected_nonempty = any((i - residue) % stride == 0
+                            for i in range(lo, hi + 1))
+    assert sset.is_empty() == (not expected_nonempty)
+
+
+class TestKnownCases:
+    def test_pugh_paper_example(self):
+        # 27 <= 11x + 13y <= 45, -10 <= 7x - 9y <= 4: classic Omega-test
+        # example known to require the dark shadow / splinters.
+        s = parse_set("{ [x,y] : 27 <= 11x + 13y and 11x + 13y <= 45 "
+                      "and -10 <= 7x - 9y and 7x - 9y <= 4 }")
+        # Brute force: no integer solutions exist.
+        found = [(x, y) for x in range(-20, 21) for y in range(-20, 21)
+                 if 27 <= 11 * x + 13 * y <= 45 and -10 <= 7 * x - 9 * y <= 4]
+        assert s.is_empty() == (not found)
+
+    def test_equality_lattice_infeasible(self):
+        s = parse_set("{ [x,y] : 2x + 4y = 1 }")
+        assert s.is_empty()
+
+    def test_equality_lattice_feasible_unbounded(self):
+        s = parse_set("{ [x,y] : 3x + 5y = 7 }")
+        assert not s.is_empty()
+
+    def test_parametric_contradiction(self):
+        s = parse_set("[N] -> { [i] : 0 <= i < N and N <= 0 }")
+        assert s.is_empty()
+
+    def test_parametric_feasible(self):
+        s = parse_set("[N] -> { [i] : 0 <= i < N }")
+        assert not s.is_empty()
+
+    def test_one_sided_unbounded(self):
+        s = parse_set("{ [i,j] : i >= 10 and j <= 5 }")
+        assert not s.is_empty()
+
+    def test_tight_window(self):
+        s = parse_set("{ [i] : 3 <= 2i and 2i <= 3 }")
+        assert s.is_empty()
+
+    def test_empty_from_tiling_legality_shape(self):
+        # Shape of a violated-dependence check: i' = i + 1, same tile,
+        # i' < i — must be empty.
+        s = parse_set("{ [i, ip] : ip = i + 1 and ip <= i - 1 }")
+        assert s.is_empty()

@@ -1,0 +1,119 @@
+"""Tests for sampling and lexicographic extrema."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl import lexmax, lexmin, parse_set, points, sample
+
+
+class TestLexmin:
+    def test_triangle(self):
+        s = parse_set("{ [i,j] : 0 <= i < 5 and 0 <= j <= i }").pieces[0]
+        assert lexmin(s) == (0, 0)
+        assert lexmax(s) == (4, 4)
+
+    def test_negative_region(self):
+        s = parse_set("{ [i] : -7 <= i <= -3 }").pieces[0]
+        assert lexmin(s) == (-7,)
+        assert lexmax(s) == (-3,)
+
+    def test_strided(self):
+        s = parse_set("{ [i] : exists e : i = 4e + 3 "
+                      "and 0 <= i < 30 }").pieces[0]
+        assert lexmin(s) == (3,)
+        assert lexmax(s) == (27,)
+
+    def test_empty_returns_none(self):
+        s = parse_set("{ [i] : i > 5 and i < 3 }").pieces[0]
+        assert lexmin(s) is None
+        assert sample(s) is None
+
+    def test_parametric_with_values(self):
+        s = parse_set("[N] -> { [i,j] : 0 <= i < N and i <= j < N }"
+                      ).pieces[0]
+        assert lexmin(s, {"N": 4}) == (0, 0)
+        assert lexmax(s, {"N": 4}) == (3, 3)
+
+    def test_parametric_without_values_raises(self):
+        s = parse_set("[N] -> { [i] : 0 <= i < N }").pieces[0]
+        with pytest.raises(ValueError):
+            lexmin(s)
+
+    def test_unbounded_raises(self):
+        s = parse_set("{ [i] : i >= 0 }").pieces[0]
+        with pytest.raises(ValueError):
+            lexmax(s)
+
+    @given(st.integers(-5, 5), st.integers(0, 6), st.integers(1, 4),
+           st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_enumeration(self, lo, span, stride, residue):
+        s = parse_set(
+            f"{{ [i] : {lo} <= i <= {lo + span} and "
+            f"exists e : i = {stride}e + {residue} }}").pieces[0]
+        pts = sorted(points(s))
+        if not pts:
+            assert lexmin(s) is None
+        else:
+            assert lexmin(s) == pts[0]
+            assert lexmax(s) == pts[-1]
+
+
+class TestSample:
+    def test_sample_in_set(self):
+        s = parse_set("{ [i,j] : 3 <= i < 6 and i < j < 9 }").pieces[0]
+        pt = sample(s)
+        assert s.contains_point(list(pt))
+
+    def test_sample_unbounded(self):
+        s = parse_set("{ [i] : i >= -100 }").pieces[0]
+        pt = sample(s)
+        assert pt is not None and pt[0] >= -100
+
+    def test_sample_prefers_small_magnitude(self):
+        s = parse_set("{ [i] : -50 <= i <= 50 }").pieces[0]
+        assert sample(s) == (0,)
+
+
+class TestDependenceDistances:
+    def test_stencil_distances(self):
+        from repro import Buffer, Computation, Function, Var
+        from repro.core.deps import (compute_dependences,
+                                     dependence_distance)
+        f = Function("f")
+        with f:
+            i, j = Var("i", 1, 9), Var("j", 1, 9)
+            buf = Buffer("g", [10, 10])
+            c = Computation("c", [i, j], None)
+            c.set_expression(c(i - 1, j) + c(i, j - 1))
+            c.store_in(buf, [i, j])
+        deps = [d for d in compute_dependences(f) if d.kind == "flow"]
+        dists = sorted(dependence_distance(d) for d in deps)
+        assert dists == [(0, 1), (1, 0)]
+
+    def test_non_uniform_returns_none(self):
+        from repro import Buffer, Computation, Function, Var
+        from repro.core.deps import (compute_dependences,
+                                     dependence_distance)
+        f = Function("f")
+        with f:
+            i = Var("i", 1, 9)
+            buf = Buffer("g", [20])
+            c = Computation("c", [i], None)
+            c.set_expression(c(i - 1) + 1.0)
+            c.store_in(buf, [i * 2])   # non-uniform through the layout
+        deps = [d for d in compute_dependences(f) if d.kind == "flow"]
+        # distance through doubled storage: src 2i vs read 2(i-1): still
+        # uniform in iteration space; craft non-uniform via triangular
+        # consumer instead.
+        f2 = Function("f2")
+        from repro import Input
+        with f2:
+            iw = Var("iw", 0, 10)
+            i2 = Var("i2", 1, 5)
+            a = Computation("a", [iw], 1.0)
+            b = Computation("b", [i2], None)
+            b.set_expression(a(i2 * 2))
+        deps2 = [d for d in compute_dependences(f2) if d.kind == "flow"]
+        assert dependence_distance(deps2[0]) is None

@@ -1,0 +1,85 @@
+"""Unit tests for Space: naming contexts of sets and maps."""
+
+import pytest
+
+from repro.isl import Space
+from repro.isl.linexpr import IN, OUT, PARAM
+
+
+class TestConstruction:
+    def test_set_space(self):
+        s = Space.set_space(("i", "j"), "S", ("N",))
+        assert not s.is_map
+        assert s.out_name == "S"
+        assert s.n(OUT) == 2 and s.n(PARAM) == 1
+
+    def test_map_space(self):
+        m = Space.map_space(("i",), ("x", "y"), "A", "B")
+        assert m.is_map
+        assert m.n(IN) == 1 and m.n(OUT) == 2
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Space.set_space(("i", "i"))
+
+    def test_unnamed_in_tuple_gets_empty_name(self):
+        m = Space.map_space(("i",), ("j",))
+        assert m.in_name == ""
+
+
+class TestQueries:
+    def test_dim_name(self):
+        m = Space.map_space(("a",), ("b",), params=("P",))
+        assert m.dim_name(IN, 0) == "a"
+        assert m.dim_name(OUT, 0) == "b"
+        assert m.dim_name(PARAM, 0) == "P"
+
+    def test_find_shadowing(self):
+        """Set/out dims shadow in dims, which shadow params."""
+        m = Space.map_space(("x",), ("x",), params=("x",))
+        assert m.find("x") == (OUT, 0)
+        s = Space.set_space(("i",), params=("i",))
+        assert s.find("i") == (OUT, 0)
+
+    def test_find_missing(self):
+        assert Space.set_space(("i",)).find("zzz") is None
+
+
+class TestDerived:
+    def test_domain_range(self):
+        m = Space.map_space(("i", "j"), ("k",), "D", "R", ("N",))
+        d = m.domain()
+        r = m.range()
+        assert not d.is_map and d.out_dims == ("i", "j")
+        assert d.out_name == "D"
+        assert r.out_dims == ("k",) and r.out_name == "R"
+
+    def test_reverse(self):
+        m = Space.map_space(("i",), ("j", "k"), "A", "B")
+        r = m.reverse()
+        assert r.in_dims == ("j", "k") and r.out_dims == ("i",)
+        assert r.in_name == "B" and r.out_name == "A"
+
+    def test_domain_of_set_rejected(self):
+        with pytest.raises(ValueError):
+            Space.set_space(("i",)).domain()
+
+    def test_aligned_params_union(self):
+        a = Space.set_space(("i",), params=("N", "M"))
+        b = Space.set_space(("i",), params=("M", "K"))
+        assert a.aligned_params(b) == ("N", "M", "K")
+
+    def test_compatible_ignores_params(self):
+        a = Space.set_space(("i", "j"), "S", ("N",))
+        b = Space.set_space(("x", "y"), "S", ("K", "L"))
+        assert a.compatible_with(b)
+
+    def test_incompatible_names(self):
+        a = Space.set_space(("i",), "S")
+        b = Space.set_space(("i",), "T")
+        assert not a.compatible_with(b)
+
+    def test_incompatible_arity(self):
+        a = Space.set_space(("i",))
+        b = Space.set_space(("i", "j"))
+        assert not a.compatible_with(b)

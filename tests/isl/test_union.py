@@ -1,0 +1,106 @@
+"""Unit tests for unions of sets/maps: subtract, subset, equality."""
+
+import pytest
+
+from repro.isl import Map, Set, parse_map, parse_set
+
+
+class TestUnionAlgebra:
+    def test_union_contains_both(self):
+        a = parse_set("{ [i] : 0 <= i < 3 }")
+        b = parse_set("{ [i] : 10 <= i < 13 }")
+        u = a | b
+        assert u.contains_point([1]) and u.contains_point([11])
+        assert not u.contains_point([5])
+
+    def test_intersect_distributes(self):
+        u = parse_set("{ [i] : 0 <= i < 10 or 20 <= i < 30 }")
+        w = parse_set("{ [i] : 5 <= i < 25 }")
+        x = u & w
+        assert x.contains_point([7]) and x.contains_point([22])
+        assert not x.contains_point([15])
+
+    def test_quick_empty_pieces_dropped(self):
+        a = parse_set("{ [i] : 0 <= i < 3 }")
+        b = parse_set("{ [i] : i > 5 and i < 2 }")
+        x = a & b
+        assert x.is_empty()
+
+
+class TestSubtract:
+    def test_basic_difference(self):
+        a = parse_set("{ [i] : 0 <= i <= 9 }")
+        b = parse_set("{ [i] : 3 <= i <= 5 }")
+        d = a - b
+        for v in (0, 2, 6, 9):
+            assert d.contains_point([v])
+        for v in (3, 4, 5, 10):
+            assert not d.contains_point([v])
+
+    def test_difference_with_equality(self):
+        a = parse_set("{ [i] : 0 <= i <= 4 }")
+        b = parse_set("{ [i] : i = 2 }")
+        d = a - b
+        assert d.contains_point([1]) and d.contains_point([3])
+        assert not d.contains_point([2])
+
+    def test_subtract_divs_rejected(self):
+        a = parse_set("{ [i] : 0 <= i <= 9 }")
+        b = parse_set("{ [i] : exists e : i = 2e }")
+        with pytest.raises(NotImplementedError):
+            a - b
+
+    def test_pieces_disjoint(self):
+        from repro.isl import count
+        a = parse_set("{ [i] : 0 <= i <= 9 }")
+        b = parse_set("{ [i] : 4 <= i <= 5 }")
+        d = a - b
+        assert count(d) == 8
+
+
+class TestSubsetEqual:
+    def test_subset(self):
+        small = parse_set("{ [i,j] : 0 <= i < 5 and 0 <= j <= i }")
+        big = parse_set("{ [i,j] : 0 <= i < 5 and 0 <= j < 5 }")
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_equal_different_representations(self):
+        a = parse_set("{ [i] : 0 <= i and i <= 9 }")
+        b = parse_set("{ [i] : 0 <= i < 4 or 4 <= i <= 9 }")
+        assert a.is_equal(b)
+
+    def test_parametric_subset(self):
+        a = parse_set("[N] -> { [i] : 1 <= i < N }")
+        b = parse_set("[N] -> { [i] : 0 <= i < N }")
+        assert a.is_subset(b)
+        assert not b.is_subset(a)
+
+
+class TestMapUnions:
+    def test_apply_union(self):
+        m = parse_map("{ [i] -> [i + 1] : i >= 0; [i] -> [i - 1] : i < 0 }")
+        s = parse_set("{ [i] : i = 3 or i = -3 }")
+        img = m.apply(s)
+        assert img.contains_point([4])
+        assert img.contains_point([-4])
+        assert not img.contains_point([2])
+
+    def test_domain_range_union(self):
+        m = parse_map("{ [i] -> [0] : 0 <= i < 2; [i] -> [1] : 5 <= i < 7 }")
+        assert m.domain().contains_point([6])
+        assert not m.domain().contains_point([3])
+        assert m.range().contains_point([1])
+        assert not m.range().contains_point([2])
+
+    def test_coalesce_drops_duplicates(self):
+        a = parse_set("{ [i] : 0 <= i < 5 }")
+        u = (a | a).coalesce()
+        assert len(u.pieces) == 1
+
+    def test_empty_union_space(self):
+        from repro.isl import Space
+        s = Set.empty(Space.set_space(("i",)))
+        assert s.is_empty()
+        u = s.union(parse_set("{ [i] : i = 0 }"))
+        assert not u.is_empty()

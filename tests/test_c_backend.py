@@ -1,0 +1,186 @@
+"""Native C backend: correctness vs the Python backend and the NumPy
+references, across kernels and schedules (real OpenMP/SIMD code)."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.backends.c import emit_c_source, have_c_compiler
+from repro.core.errors import CodegenError
+from repro.ir import clamp, select
+from repro.ir import types as T
+
+pytestmark = pytest.mark.skipif(not have_c_compiler(),
+                                reason="no C compiler available")
+
+
+class TestBasics:
+    def test_constant_fill(self):
+        f = Function("f")
+        with f:
+            Computation("c", [Var("i", 0, 16)], 7.5)
+        out = f.compile("c")()["c"]
+        assert (out == 7.5).all()
+
+    def test_matches_python_backend(self):
+        def build():
+            f = Function("f")
+            with f:
+                inp = Input("inp", [Var("x", 0, 18)])
+                i = Var("i", 0, 16)
+                c = Computation("c", [i], None)
+                c.set_expression(inp(i) * 2.0 + inp(i + 2))
+            return f
+        data = np.random.default_rng(0).random(18).astype(np.float32)
+        py = build().compile("cpu")(inp=data)["c"]
+        native = build().compile("c")(inp=data)["c"]
+        assert np.allclose(py, native, atol=1e-6)
+
+    def test_parameters(self):
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            i = Var("i", 0, N)
+            c = Computation("c", [i], None)
+            c.set_expression(1.0 * i)
+        out = f.compile("c")(N=11)["c"]
+        assert np.allclose(out, np.arange(11))
+
+    def test_source_contains_pragmas(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 64), Var("j", 0, 64)], 1.0)
+        c.parallelize("i")
+        c.vectorize("j", 8)
+        src = emit_c_source(f)
+        assert "#pragma omp parallel for" in src
+        assert "#pragma omp simd" in src
+
+    def test_integer_semantics(self):
+        f = Function("f")
+        with f:
+            inp = Input("inp", [Var("x", 0, 8)], dtype=T.int32)
+            i = Var("i", 0, 8)
+            c = Computation("c", [i], None, dtype=T.int32)
+            c.set_expression((inp(i) + 1) / 2)
+        data = np.arange(8, dtype=np.int32)
+        out = f.compile("c")(inp=data)["c"]
+        assert (out == (data + 1) // 2).all()
+
+    def test_negative_floor_division_matches_python(self):
+        """ifdiv must be floor division (Python semantics), not C trunc."""
+        f = Function("f")
+        with f:
+            i = Var("i", 0, 8)
+            c = Computation("c", [i], None, dtype=T.int32)
+            c.set_expression((i - 4) / 3)
+        out = f.compile("c")()["c"]
+        ref = np.array([(v - 4) // 3 for v in range(8)])
+        assert (out == ref).all()
+
+
+class TestScheduledKernels:
+    def test_tiled_parallel_blur(self):
+        from repro.kernels import build_blur, schedule_blur_cpu
+        bundle = build_blur()
+        schedule_blur_cpu(bundle, tile=8)
+        params = {"N": 40, "M": 36}
+        rng = np.random.default_rng(1)
+        inputs = bundle.make_inputs(params, rng)
+        ref = bundle.reference({k: v.copy() for k, v in inputs.items()},
+                               params)
+        out = bundle.function.compile("c")(**inputs, **params)
+        assert np.allclose(out["by"], ref["by"], atol=1e-4)
+
+    def test_sgemm_full_schedule(self):
+        from repro.kernels import build_sgemm, schedule_sgemm_cpu
+        bundle = build_sgemm()
+        schedule_sgemm_cpu(bundle, 16, 8)
+        n = 70
+        rng = np.random.default_rng(2)
+        a = rng.random((n, n)).astype(np.float32)
+        b = rng.random((n, n)).astype(np.float32)
+        c0 = rng.random((n, n)).astype(np.float32)
+        c = c0.copy()
+        bundle.function.compile("c")(A=a, B=b, C=c, N=n, M=n, K=n)
+        assert np.allclose(c, 1.5 * (a @ b) + 0.5 * c0, atol=1e-2)
+
+    def test_separated_sgemm(self):
+        from repro.kernels import build_sgemm, schedule_sgemm_cpu
+        bundle = build_sgemm()
+        schedule_sgemm_cpu(bundle, 16, 8)
+        bundle.computations["acc"].separate_all("i10", "j10")
+        n = 50
+        rng = np.random.default_rng(3)
+        a = rng.random((n, n)).astype(np.float32)
+        b = rng.random((n, n)).astype(np.float32)
+        c0 = rng.random((n, n)).astype(np.float32)
+        c = c0.copy()
+        bundle.function.compile("c")(A=a, B=b, C=c, N=n, M=n, K=n)
+        assert np.allclose(c, 1.5 * (a @ b) + 0.5 * c0, atol=1e-2)
+
+    def test_clamped_and_select(self):
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            inp = Input("inp", [Var("x", 0, N)])
+            i = Var("i", 0, N)
+            c = Computation("c", [i], None)
+            c.set_expression(select(
+                inp(clamp(i - 1, 0, N - 1)) > 0.5, 1.0, -1.0))
+        data = np.linspace(0, 1, 12).astype(np.float32)
+        out = f.compile("c")(inp=data, N=12)["c"]
+        ref = np.where(data[np.clip(np.arange(12) - 1, 0, 11)] > 0.5,
+                       1.0, -1.0)
+        assert np.allclose(out, ref)
+
+    def test_triangular_domain(self):
+        f = Function("f")
+        with f:
+            i = Var("i", 0, 8)
+            j = Var("j", 0, i + 1)
+            c = Computation("c", [i, j], 1.0)
+        out = f.compile("c")()["c"]
+        for a in range(8):
+            for b in range(8):
+                assert out[a, b] == (1.0 if b <= a else 0.0)
+
+    @pytest.mark.parametrize("bench", ["blur", "edgeDetector", "cvtColor",
+                                       "conv2D", "warpAffine", "gaussian",
+                                       "nb", "ticket2373"])
+    def test_image_kernels_native(self, bench):
+        from repro.evaluation import schedules as S
+        from repro.evaluation.fig6 import BUILDERS
+        bundle = BUILDERS[bench]()
+        S.tiramisu_cpu(bundle)
+        params = dict(bundle.test_params)
+        rng = np.random.default_rng(4)
+        inputs = bundle.make_inputs(params, rng)
+        expected = bundle.reference(
+            {k: np.copy(v) for k, v in inputs.items()}, params)
+        out = bundle.function.compile("c")(**inputs, **params)
+        for name, ref in expected.items():
+            assert np.allclose(out[name], ref, atol=1e-3), bench
+
+
+class TestUnsupported:
+    def test_gpu_tags_rejected(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 32), Var("j", 0, 32)], 1.0)
+        c.tile_gpu("i", "j", 8, 8)
+        with pytest.raises(CodegenError):
+            emit_c_source(f)
+
+    def test_send_rejected(self):
+        from repro import send
+        Nodes = Param("Nodes")
+        f = Function("f", params=[Nodes])
+        with f:
+            buf = Buffer("b", [4])
+            s_it = Var("s", 0, Nodes)
+            send([s_it], buf, 0, 1, s_it)
+            c = Computation("c", [Var("i", 0, 4)], 0.0)
+            c.store_in(buf, [Var("i", 0, 4)])
+        with pytest.raises(CodegenError):
+            emit_c_source(f)

@@ -1,0 +1,108 @@
+"""End-to-end property test: random compositions of scheduling commands
+must preserve program semantics (the compiler's core guarantee)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Buffer, Computation, Function, Input, Var
+
+COMMANDS = ["tile", "split_i", "split_j", "interchange", "shift", "skew",
+            "parallel", "vector", "unroll"]
+
+
+def build_stencil(n, m):
+    """out(i,j) = in(i,j) + in(i+1,j) + in(i,j+1): a forward stencil with
+    no loop-carried dependences, so every composition is legal."""
+    f = Function("f")
+    with f:
+        inp = Input("inp", [Var("x", 0, n + 1), Var("y", 0, m + 1)])
+        i, j = Var("i", 0, n), Var("j", 0, m)
+        c = Computation("c", [i, j], None)
+        c.set_expression(inp(i, j) + inp(i + 1, j) + inp(i, j + 1))
+    return f, c
+
+
+def reference(data, n, m):
+    return data[:n, :m] + data[1:n+1, :m] + data[:n, 1:m+1]
+
+
+@given(st.lists(st.sampled_from(COMMANDS), min_size=0, max_size=5),
+       st.integers(5, 12), st.integers(5, 12),
+       st.integers(2, 4), st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_random_schedule_composition(ops, n, m, t1, t2):
+    f, c = build_stencil(n, m)
+    fresh = iter(range(100))
+    for op in ops:
+        names = c.time_names
+        k = next(fresh)
+        try:
+            if op == "tile" and len(names) >= 2:
+                c.tile(names[0], names[1], t1, t2,
+                       f"a{k}", f"b{k}", f"c{k}", f"d{k}")
+            elif op == "split_i":
+                c.split(names[0], t1, f"e{k}", f"f{k}")
+            elif op == "split_j":
+                c.split(names[-1], t2, f"g{k}", f"h{k}")
+            elif op == "interchange" and len(names) >= 2:
+                c.interchange(names[0], names[-1])
+            elif op == "shift":
+                c.shift(names[0], 3)
+            elif op == "skew" and len(names) >= 2:
+                c.skew(names[0], names[1], 2)
+            elif op == "parallel":
+                c.parallelize(names[0])
+            elif op == "vector":
+                c.vectorize(names[-1], 4)
+            elif op == "unroll":
+                c.unroll(names[-1], 2)
+        except Exception:
+            raise
+    kernel = f.compile("cpu")
+    rng = np.random.default_rng(0)
+    data = rng.random((n + 1, m + 1)).astype(np.float32)
+    out = kernel(inp=data)["c"]
+    assert np.allclose(out, reference(data, n, m), atol=1e-5)
+
+
+@given(st.integers(4, 10), st.integers(2, 4), st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_tile_then_separate_random(n, t1, t2):
+    f = Function("f")
+    with f:
+        c = Computation("c", [Var("i", 0, n), Var("j", 0, n)], None)
+        c.set_expression(c(Var("i", 0, n), Var("j", 0, n)) + 1.0)
+    c.tile("i", "j", t1, t2)
+    c.separate_all("i1", "j1")
+    out = f.compile("cpu")()["c"]
+    assert (out == 1).all()
+
+
+@given(st.integers(2, 5), st.integers(6, 20))
+@settings(max_examples=25, deadline=None)
+def test_compute_at_window_random(radius, n):
+    """compute_at with a random stencil radius: the overlapped-tiling
+    windows must always yield the exact result."""
+    f = Function("f")
+    with f:
+        size = n + radius
+        inp = Input("inp", [Var("x", 0, size)])
+        iw = Var("iw", 0, size)
+        i = Var("i", 0, n)
+        a = Computation("a", [iw], None)
+        a.set_expression(inp(iw) * 2.0)
+        b = Computation("b", [i], None)
+        expr = None
+        for d in range(radius + 1):
+            term = a(i + d)
+            expr = term if expr is None else expr + term
+        b.set_expression(expr)
+    b.split("i", 4, "i0", "i1")
+    a.compute_at(b, "i0")
+    kernel = f.compile("cpu")
+    data = np.arange(n + radius, dtype=np.float32)
+    out = kernel(inp=data)["b"]
+    ref = sum(2.0 * data[d:d + n] for d in range(radius + 1))
+    assert np.allclose(out, ref)

@@ -1,0 +1,142 @@
+"""Constant folding (ir.fold) and ISL-relation data layouts
+(store_in_isl)."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Computation, Function, Param, Var
+from repro.core.errors import ScheduleError
+from repro.ir.expr import BinOp, Call, Cast, Const, IterVar, Select
+from repro.ir.fold import fold
+from repro.ir import types as T
+
+
+class TestFold:
+    def test_constant_arithmetic(self):
+        e = fold(wrapb("+", Const(2), wrapb("*", Const(3), Const(4))))
+        assert isinstance(e, Const) and e.value == 14
+
+    def test_identity_add(self):
+        i = IterVar("i")
+        assert fold(i + 0) is i
+        assert fold(0 + i) is i
+
+    def test_identity_mul(self):
+        i = IterVar("i")
+        assert fold(i * 1) is i
+        assert isinstance(fold(i * 0), Const)
+
+    def test_nested_folding(self):
+        i = IterVar("i")
+        e = fold((i * 1 + 0) * (Const(2) + Const(3)))
+        assert repr(e) == "(i * 5)"
+
+    def test_min_max_abs(self):
+        assert fold(Call("min", [Const(3), Const(7)])).value == 3
+        assert fold(Call("max", [Const(3), Const(7)])).value == 7
+        assert fold(Call("abs", [Const(-5)])).value == 5
+
+    def test_select_constant_condition(self):
+        i = IterVar("i")
+        e = fold(Select(Const(True), i, Const(0)))
+        assert e is i
+
+    def test_cast_folds(self):
+        assert fold(Cast(T.int32, Const(3.7))).value == 3
+        assert fold(Cast(T.float32, Const(3))).value == 3.0
+
+    def test_division_by_zero_not_folded(self):
+        e = fold(wrapb("/", Const(1), Const(0)))
+        assert isinstance(e, BinOp)
+
+    def test_comparison_folds(self):
+        assert fold(wrapb("<", Const(1), Const(2))).value is True
+
+    def test_unfoldable_left_alone(self):
+        i = IterVar("i")
+        e = fold(i + IterVar("j"))
+        assert isinstance(e, BinOp)
+
+    def test_generated_code_shrinks(self):
+        """Specialized filter chains fold their weight constants."""
+        f = Function("f")
+        with f:
+            i = Var("i", 0, 8)
+            c = Computation("c", [i], None)
+            c.set_expression((i * 1 + 0) * 1.0 + (2.0 * 3.0))
+        src = f.compile("cpu").source
+        assert "6.0" in src
+        assert "(2.0" not in src
+
+
+def wrapb(op, a, b):
+    return BinOp(op, a, b)
+
+
+class TestStoreInIsl:
+    def test_transpose(self):
+        f = Function("f")
+        with f:
+            i, j = Var("i", 0, 3), Var("j", 0, 5)
+            buf = Buffer("b", [5, 3])
+            c = Computation("c", [i, j], None)
+            c.set_expression(1.0 * i + 10.0 * j)
+            c.store_in_isl("{ c[i,j] -> b[j, i] }", buf)
+        out = f.compile("cpu")()["b"]
+        for a in range(3):
+            for b_ in range(5):
+                assert out[b_, a] == a + 10 * b_
+
+    def test_contraction(self):
+        f = Function("f")
+        with f:
+            i, k = Var("i", 0, 4), Var("k", 0, 6)
+            buf = Buffer("acc", [4])
+            c = Computation("c", [i, k], None)
+            c.set_expression(c(i, k) + 1.0)
+            c.store_in_isl("{ c[i,k] -> acc[i] }", buf)
+        out = f.compile("cpu")()["acc"]
+        assert (out == 6).all()
+
+    def test_affine_combination(self):
+        f = Function("f")
+        with f:
+            i, j = Var("i", 0, 3), Var("j", 0, 3)
+            buf = Buffer("b", [9])
+            c = Computation("c", [i, j], 1.0)
+            c.store_in_isl("{ c[i,j] -> b[3i + j] }", buf)
+        out = f.compile("cpu")()["b"]
+        assert (out == 1).all()
+
+    def test_arity_mismatch_rejected(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 3)], 1.0)
+        with pytest.raises(ScheduleError):
+            c.store_in_isl("{ c[i,j] -> b[i] }")
+
+    def test_non_functional_map_rejected(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 3)], 1.0)
+        with pytest.raises(ScheduleError):
+            c.store_in_isl("{ c[i] -> b[o] : o >= i }")
+
+
+class TestFoldedBackendsAgree:
+    def test_python_and_c_agree_on_folded_kernel(self):
+        from repro.backends.c import have_c_compiler
+        if not have_c_compiler():
+            pytest.skip("no C compiler")
+
+        def build():
+            f = Function("f")
+            with f:
+                i = Var("i", 0, 16)
+                c = Computation("c", [i], None)
+                c.set_expression((1.0 * i + 0.0) * 2.0
+                                 + Call("min", [Const(4), Const(9)]))
+            return f
+        py = build().compile("cpu")()["c"]
+        native = build().compile("c")()["c"]
+        assert np.allclose(py, native)

@@ -1,0 +1,116 @@
+"""GPU simulator details: launch info, cache_local_at, validation, and
+model geometry."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+from repro.core.buffer import MemSpace
+from repro.machine import GpuCostModel
+
+
+class TestLaunchInfo:
+    def build(self):
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            inp = Input("inp", [Var("x", 0, N), Var("y", 0, N)])
+            i, j = Var("i", 0, N), Var("j", 0, N)
+            c = Computation("c", [i, j], None)
+            c.set_expression(inp(i, j) * 2.0)
+        return f, inp, c
+
+    def test_block_thread_dims_reported(self):
+        f, inp, c = self.build()
+        c.tile_gpu("i", "j", 8, 8)
+        k = f.compile("gpu")
+        st = k.gpu_stats()
+        assert len(st.block_dims) == 2
+        assert len(st.thread_dims) == 2
+
+    def test_copies_counted(self):
+        f, inp, c = self.build()
+        c.tile_gpu("i", "j", 8, 8)
+        h = inp.host_to_device()
+        d = c.device_to_host()
+        h.before(c, None)
+        d.after(c, None)
+        st = f.compile("gpu").gpu_stats()
+        assert st.h2d_copies == 1 and st.d2h_copies == 1
+
+    def test_memory_space_inventory(self):
+        f, inp, c = self.build()
+        c.tile("i", "j", 8, 8)     # bound both footprint dims
+        inp.get_buffer().tag_gpu_global()
+        op = inp.cache_local_at(c, "j0")
+        st = f.compile("gpu").gpu_stats()
+        assert len(st.local_buffers) == 1
+        assert len(st.global_buffers) >= 1
+
+
+class TestCacheLocal:
+    def test_cache_local_at_correct(self):
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            inp = Input("inp", [Var("x", 0, N)])
+            i = Var("i", 0, N)
+            c = Computation("c", [i], None)
+            c.set_expression(inp(i) + 1.0)
+        c.split("i", 4, "i0", "i1")
+        op = inp.cache_local_at(c, "i0")
+        shared, origins, __ = c.cached_reads["inp"]
+        assert shared.mem_space == MemSpace.GPU_LOCAL
+        k = f.compile("gpu")
+        data = np.arange(12, dtype=np.float32)
+        out = k(inp=data, N=12)["c"]
+        assert np.allclose(out, data + 1)
+
+
+class TestGpuModelGeometry:
+    def test_grid_and_block_sizes(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 64), Var("j", 0, 64)], 1.0)
+        c.tile_gpu("i", "j", 8, 8)
+        rep = GpuCostModel(f, {}).estimate_gpu()
+        assert rep.grid == 64       # 8 x 8 blocks
+        assert rep.block == 64      # 8 x 8 threads
+        assert rep.launches == 1
+
+    def test_separate_nests_are_separate_launches(self):
+        f = Function("f")
+        with f:
+            a = Computation("a", [Var("i", 0, 32), Var("j", 0, 32)], 1.0)
+            b = Computation("b", [Var("i2", 0, 32), Var("j2", 0, 32)], 2.0)
+        a.tile_gpu("i", "j", 8, 8)
+        b.tile_gpu("i2", "j2", 8, 8)
+        rep = GpuCostModel(f, {}).estimate_gpu()
+        assert rep.launches == 2
+
+    def test_coalescing_penalty(self):
+        """Column-major access from the innermost thread dim costs more
+        global traffic than row-major."""
+        def model(transposed):
+            N = Param("N")
+            f = Function("f" + str(transposed), params=[N])
+            with f:
+                inp = Input("inp", [Var("x", 0, N), Var("y", 0, N)])
+                i, j = Var("i", 0, N), Var("j", 0, N)
+                c = Computation("c", [i, j], None)
+                if transposed:
+                    c.set_expression(inp(j, i) * 2.0)   # strided in j
+                else:
+                    c.set_expression(inp(i, j) * 2.0)
+            c.tile_gpu("i", "j", 16, 16)
+            return GpuCostModel(f, {"N": 1024}).estimate_gpu()
+        good = model(False)
+        bad = model(True)
+        assert bad.global_bytes > good.global_bytes * 4
+
+    def test_empty_function_parts_skipped(self):
+        f = Function("f")
+        with f:
+            c = Computation("c", [Var("i", 0, 4)], 1.0)
+        rep = GpuCostModel(f, {}).estimate_gpu()
+        assert rep.seconds > 0

@@ -1,0 +1,200 @@
+"""Tests for the mini-Halide comparator: interval semantics, the three
+documented restrictions, and pipeline evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.halide_mini import (BoundsAssertion, Func, HalideError, HVar,
+                               ImageParam, Pipeline, interval_eval)
+from repro.ir import clamp, select
+from repro.ir.expr import Const, IterVar
+
+
+class TestIntervalArithmetic:
+    def env(self):
+        return {"x": (0.0, 9.0), "y": (-3.0, 3.0)}
+
+    def test_var_and_const(self):
+        assert interval_eval(IterVar("x"), self.env()) == (0, 9)
+        assert interval_eval(Const(5), self.env()) == (5, 5)
+
+    def test_add_sub(self):
+        e = IterVar("x") + IterVar("y")
+        assert interval_eval(e, self.env()) == (-3, 12)
+        e = IterVar("x") - IterVar("y")
+        assert interval_eval(e, self.env()) == (-3, 12)
+
+    def test_mul_signs(self):
+        e = IterVar("y") * 2
+        assert interval_eval(e, self.env()) == (-6, 6)
+        e = IterVar("y") * IterVar("y")
+        assert interval_eval(e, self.env()) == (-9, 9)  # interval, not exact
+
+    def test_clamp_intersects(self):
+        e = clamp(IterVar("x") + 5, 0, 9)
+        assert interval_eval(e, self.env()) == (5, 9)
+
+    def test_select_hull(self):
+        e = select(IterVar("x") > 4, IterVar("x"), 0)
+        lo, hi = interval_eval(e, self.env())
+        assert lo == 0 and hi == 9
+
+    def test_negation(self):
+        assert interval_eval(-IterVar("x"), self.env()) == (-9, 0)
+
+
+class TestBoundsInference:
+    def test_stencil_halo(self):
+        x, y = HVar("x"), HVar("y")
+        img = ImageParam("img", 2)
+        b = Func("b").define([x, y], img(x + 1, y) + img(x + 2, y))
+        req = Pipeline([b]).infer_bounds({"b": (10, 10)})
+        assert req["img"][0] == (1.0, 11.0)
+        assert req["img"][1] == (0.0, 9.0)
+
+    def test_union_over_consumers(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        a = Func("a").define([x], img(x - 1))
+        b = Func("b").define([x], img(x + 1))
+        top = Func("t").define([x], a(x) + b(x))
+        req = Pipeline([top]).infer_bounds({"t": (8,)})
+        assert req["img"][0] == (-1.0, 8.0)
+
+    def test_triangular_over_approximated(self):
+        """The core interval weakness: x - r spans the full rectangle."""
+        x, r = HVar("x"), HVar("r")
+        inp = ImageParam("inp", 1)
+        h = Func("h").define([x, r],
+                             select(x.expr() >= r.expr(), inp(x - r), 0.0))
+        req = Pipeline([h]).infer_bounds({"h": (10, 10)})
+        lo, hi = req["inp"][0]
+        assert lo == -9.0   # over-approximation: true minimum is 0
+
+    def test_clamped_access_stays_in_range(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        g = Func("g").define([x], img(clamp(x - 5, 0, 7)))
+        req = Pipeline([g]).infer_bounds({"g": (20,)})
+        assert req["img"][0] == (0.0, 7.0)
+
+
+class TestPipelineEvaluation:
+    def test_two_stage_blur(self):
+        x, y = HVar("x"), HVar("y")
+        img = ImageParam("img", 2)
+        bx = Func("bx").define([x, y], (img(x, y) + img(x, y + 1)) / 2)
+        by = Func("by").define([x, y], (bx(x, y) + bx(x + 1, y)) / 2)
+        data = np.arange(36, dtype=np.float32).reshape(6, 6)
+        out = Pipeline([by]).realize({"by": (4, 4)}, {"img": data})["by"]
+        bx_ref = (data[:5, :5] + data[:5, 1:6]) / 2
+        by_ref = (bx_ref[:4, :4] + bx_ref[1:5, :4]) / 2
+        assert np.allclose(out, by_ref)
+
+    def test_negative_origin_intermediate(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        a = Func("a").define([x], img(x + 2) * 1.0)
+        b = Func("b").define([x], a(x - 1) + a(x))
+        data = np.arange(12, dtype=np.float32)
+        out = Pipeline([b]).realize({"b": (6,)}, {"img": data})["b"]
+        ref = data[1:7] + data[2:8]
+        assert np.allclose(out, ref)
+
+    def test_select_and_clamp_evaluation(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        g = Func("g").define(
+            [x], select(img(clamp(x - 1, 0, 7)) > 3.0, 1.0, 0.0))
+        data = np.arange(8, dtype=np.float32)
+        out = Pipeline([g]).realize({"g": (8,)}, {"img": data})["g"]
+        ref = (data[np.clip(np.arange(8) - 1, 0, 7)] > 3).astype(float)
+        assert np.allclose(out, ref)
+
+    def test_multiple_outputs(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        a = Func("a").define([x], img(x) + 1)
+        b = Func("b").define([x], img(x) * 2)
+        data = np.arange(5, dtype=np.float32)
+        out = Pipeline([a, b]).realize({"a": (5,), "b": (5,)},
+                                       {"img": data})
+        assert np.allclose(out["a"], data + 1)
+        assert np.allclose(out["b"], data * 2)
+
+
+class TestRestrictions:
+    def test_cycle_detection_direct(self):
+        x = HVar("x")
+        a, b = Func("a"), Func("b")
+        a.define([x], b(x))
+        b.define([x], a(x))
+        with pytest.raises(HalideError, match="cyclic"):
+            Pipeline([a])
+
+    def test_cycle_detection_transitive(self):
+        x = HVar("x")
+        a, b, c = Func("a"), Func("b"), Func("c")
+        a.define([x], c(x))
+        b.define([x], a(x))
+        c.define([x], b(x))
+        with pytest.raises(HalideError, match="cyclic"):
+            Pipeline([c])
+
+    def test_acyclic_diamond_ok(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        a = Func("a").define([x], img(x) + 1)
+        b = Func("b").define([x], img(x) + 2)
+        top = Func("t").define([x], a(x) + b(x))
+        Pipeline([top])  # no exception
+
+    def test_no_redefinition(self):
+        x = HVar("x")
+        a = Func("a").define([x], 1.0 * x)
+        with pytest.raises(HalideError, match="redefinition"):
+            a.define([x], 2.0 * x)
+
+    def test_compute_with_conservative(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        p = Func("p").define([x], img(x) * 2)
+        q = Func("q").define([x], p(x - 3))
+        with pytest.raises(HalideError, match="dependence analysis"):
+            q.compute_with(p)
+
+    def test_compute_with_allowed_when_independent(self):
+        x = HVar("x")
+        img = ImageParam("img", 1)
+        p = Func("p").define([x], img(x) * 2)
+        q = Func("q").define([x], img(x) + 1)
+        q.compute_with(p)   # independent: allowed
+
+    def test_bounds_assertion_mode(self):
+        x, r = HVar("x"), HVar("r")
+        inp = ImageParam("inp", 1)
+        h = Func("h").define([x, r],
+                             select(x.expr() >= r.expr(), inp(x - r), 0.0))
+        with pytest.raises(BoundsAssertion):
+            Pipeline([h]).realize({"h": (10, 10)},
+                                  {"inp": np.zeros(5, np.float32)})
+
+
+class TestScheduleDirectives:
+    def test_directives_recorded(self):
+        x, y = HVar("x"), HVar("y")
+        xo, yo, xi, yi = (HVar(n) for n in ("xo", "yo", "xi", "yi"))
+        img = ImageParam("img", 2)
+        f = Func("f").define([x, y], img(x, y) * 2)
+        f.tile(x, y, xo, yo, xi, yi, 8, 8).parallel(xo).vectorize(xi, 8)
+        kinds = [d.kind for d in f.directives]
+        assert kinds == ["tile", "parallel", "vectorize"]
+
+    def test_schedule_does_not_change_semantics(self):
+        x, y = HVar("x"), HVar("y")
+        img = ImageParam("img", 2)
+        f = Func("f").define([x, y], img(x, y) * 2)
+        f.parallel(x).vectorize(y, 8)
+        data = np.random.default_rng(0).random((6, 6)).astype(np.float32)
+        out = Pipeline([f]).realize({"f": (6, 6)}, {"img": data})["f"]
+        assert np.allclose(out, data * 2)

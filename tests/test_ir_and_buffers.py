@@ -1,0 +1,146 @@
+"""Unit tests for the expression IR, scalar types, affine extraction and
+buffers."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Var
+from repro.core.buffer import ArgKind, MemSpace
+from repro.ir import types as T
+from repro.ir.affine import NonAffineError, expr_to_linexpr, is_affine
+from repro.ir.expr import (Access, BinOp, Call, Cast, Const, IterVar,
+                           ParamRef, Select, UnOp, accesses_in, clamp,
+                           maximum, minimum, select, substitute_exprs,
+                           wrap)
+from repro.isl.linexpr import OUT, PARAM
+
+
+class TestExprConstruction:
+    def test_operator_overloading(self):
+        i = IterVar("i")
+        e = (i + 1) * 2 - i / 3
+        assert isinstance(e, BinOp)
+        assert e.op == "-"
+
+    def test_right_operators(self):
+        i = IterVar("i")
+        assert repr(1 + i) == "(1 + i)"
+        assert repr(2 * i) == "(2 * i)"
+        assert repr(10 - i) == "(10 - i)"
+
+    def test_wrap_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            wrap(object())
+
+    def test_wrap_scalars(self):
+        assert isinstance(wrap(3), Const)
+        assert isinstance(wrap(2.5), Const)
+        assert isinstance(wrap(True), Const)
+
+    def test_comparison_builders(self):
+        i = IterVar("i")
+        assert (i < 5).op == "<"
+        assert (i >= 0).op == ">="
+        assert i.eq(3).op == "=="
+        assert i.ne(3).op == "!="
+
+    def test_walk_covers_all_nodes(self):
+        i = IterVar("i")
+        e = select(i > 0, minimum(i, 5), maximum(i, -5))
+        kinds = {type(n).__name__ for n in e.walk()}
+        assert "Select" in kinds and "Call" in kinds
+        assert "IterVar" in kinds and "Const" in kinds
+
+    def test_substitute_exprs(self):
+        e = IterVar("i") + IterVar("j")
+        out = substitute_exprs(e, {"i": Const(5)})
+        assert repr(out) == "(5 + j)"
+
+
+class TestAffineExtraction:
+    DIMS = {"i": (OUT, 0), "j": (OUT, 1), "N": (PARAM, 0)}
+
+    def test_affine_combination(self):
+        e = IterVar("i") * 3 + IterVar("j") - 2
+        le = expr_to_linexpr(e, self.DIMS)
+        assert le.coeff((OUT, 0)) == 3
+        assert le.coeff((OUT, 1)) == 1
+        assert le.const == -2
+
+    def test_constant_times_param(self):
+        e = ParamRef("N") * 4 + 1
+        le = expr_to_linexpr(e, self.DIMS)
+        assert le.coeff((PARAM, 0)) == 4
+
+    def test_nonaffine_product(self):
+        with pytest.raises(NonAffineError):
+            expr_to_linexpr(IterVar("i") * IterVar("j"), self.DIMS)
+
+    def test_nonaffine_clamp(self):
+        assert not is_affine(clamp(IterVar("i"), 0, 9), self.DIMS)
+
+    def test_unknown_name(self):
+        with pytest.raises(NonAffineError):
+            expr_to_linexpr(IterVar("q"), self.DIMS)
+
+    def test_negation(self):
+        le = expr_to_linexpr(-(IterVar("i") - 1), self.DIMS)
+        assert le.coeff((OUT, 0)) == -1
+        assert le.const == 1
+
+
+class TestScalarTypes:
+    def test_numpy_round_trip(self):
+        for t in (T.int8, T.uint16, T.int32, T.float32, T.float64):
+            assert np.dtype(t.np_dtype) == t.to_numpy()
+
+    def test_lookup_by_name(self):
+        assert T.from_name("float32") is T.float32
+        with pytest.raises(ValueError):
+            T.from_name("float128")
+
+    def test_float_flags(self):
+        assert T.float32.is_float and not T.int32.is_float
+
+    def test_bits(self):
+        assert T.float64.bits == 64 and T.uint8.bits == 8
+
+
+class TestBuffers:
+    def test_concrete_shape_with_params(self):
+        from repro.core.var import Param
+        N = Param("N")
+        b = Buffer("b", [N, N * 2 - 1, 3])
+        assert b.concrete_shape({"N": 5}) == (5, 9, 3)
+
+    def test_allocate_dtype(self):
+        b = Buffer("b", [4], dtype=T.int16)
+        arr = b.allocate({})
+        assert arr.dtype == np.int16 and arr.shape == (4,)
+
+    def test_memory_tags_chain(self):
+        b = Buffer("b", [4]).tag_gpu_shared()
+        assert b.mem_space == MemSpace.GPU_SHARED
+        b.tag_gpu_constant()
+        assert b.mem_space == MemSpace.GPU_CONSTANT
+
+    def test_set_size(self):
+        b = Buffer("b", [4])
+        b.set_size([8, 2])
+        assert b.concrete_shape({}) == (8, 2)
+
+    def test_default_kind_temporary(self):
+        assert Buffer("b", [4]).kind == ArgKind.TEMPORARY
+
+
+class TestAccessHelpers:
+    def test_accesses_in_nested(self):
+        from repro import Computation, Function
+        with Function("f"):
+            i = Var("i", 0, 4)
+            a = Computation("a", [i], 1.0)
+            b = Computation("b", [i], None)
+            b.set_expression(select(a(i) > 0, a(i + 1), a(i - 1)))
+        accs = accesses_in(b.expr)
+        assert len(accs) == 3
+        assert all(acc.computation is a for acc in accs)

@@ -1,0 +1,150 @@
+"""All benchmark kernels verify against their NumPy references, under
+every schedule the evaluation uses, on every backend that applies —
+the portability claim of the paper, executed."""
+
+import numpy as np
+import pytest
+
+import repro.kernels as K
+from repro.evaluation import schedules as S
+
+IMAGE_BENCHES = ["blur", "edgeDetector", "cvtColor", "conv2D",
+                 "warpAffine", "gaussian", "nb", "ticket2373"]
+
+BUILDERS = {
+    "blur": K.build_blur,
+    "edgeDetector": K.build_edge_detector,
+    "cvtColor": K.build_cvtcolor,
+    "conv2D": K.build_conv2d,
+    "warpAffine": K.build_warp_affine,
+    "gaussian": K.build_gaussian,
+    "nb": K.build_nb,
+    "ticket2373": K.build_ticket2373,
+}
+
+
+class TestImageKernelsUnscheduled:
+    @pytest.mark.parametrize("bench", IMAGE_BENCHES)
+    def test_verify(self, bench):
+        assert BUILDERS[bench]().verify()
+
+
+class TestImageKernelsTiramisuCpuSchedule:
+    @pytest.mark.parametrize("bench", IMAGE_BENCHES)
+    def test_verify(self, bench):
+        bundle = BUILDERS[bench]()
+        S.tiramisu_cpu(bundle)
+        assert bundle.verify()
+
+
+class TestImageKernelsPencilSchedule:
+    @pytest.mark.parametrize("bench", IMAGE_BENCHES)
+    def test_verify(self, bench):
+        bundle = BUILDERS[bench]()
+        S.pencil_cpu(bundle)
+        assert bundle.verify()
+
+
+class TestImageKernelsHalideSchedule:
+    @pytest.mark.parametrize(
+        "bench", [b for b in IMAGE_BENCHES
+                  if b not in ("edgeDetector", "ticket2373")])
+    def test_verify(self, bench):
+        bundle = BUILDERS[bench]()
+        assert S.halide_cpu(bundle) is None
+        assert bundle.verify()
+
+
+class TestImageKernelsGpuSchedule:
+    @pytest.mark.parametrize("bench", IMAGE_BENCHES)
+    def test_verify_on_gpu_backend(self, bench):
+        bundle = BUILDERS[bench]()
+        S.tiramisu_gpu(bundle)
+        params = dict(bundle.test_params)
+        rng = np.random.default_rng(3)
+        inputs = bundle.make_inputs(params, rng)
+        expected = bundle.reference(
+            {k: np.copy(v) for k, v in inputs.items()}, params)
+        kernel = bundle.function.compile("gpu")
+        # host twins: inputs renamed <name>_host by host_to_device.
+        call_args = {}
+        arg_names = kernel.argument_names()
+        for name, arr in inputs.items():
+            key = f"{name}_host" if f"{name}_host" in arg_names else name
+            call_args[key] = arr
+        got = kernel(**call_args, **params)
+        for name, ref in expected.items():
+            key = name if name in got else f"{name}_host"
+            if key not in got:
+                key = f"_{name}_b_host" if f"_{name}_b_host" in got \
+                    else next(iter(got))
+            assert np.allclose(got[key], ref, atol=1e-3), bench
+
+
+class TestLinalgAndDnnKernels:
+    CASES = [
+        (K.build_sgemm, None),
+        (K.build_sgemm, K.schedule_sgemm_cpu),
+        (K.build_sgemm, K.schedule_sgemm_pluto_like),
+        (K.build_baryon, None),
+        (K.build_baryon, K.schedule_baryon_cpu),
+        (K.build_conv, None),
+        (K.build_conv, K.schedule_conv_cpu),
+        (K.build_vgg_block, None),
+        (K.build_vgg_block, K.schedule_vgg_fused),
+        (K.build_spmv27, None),
+        (K.build_spmv27, K.schedule_spmv_cpu),
+        (K.build_waxpby, None),
+        (K.build_dot, None),
+        (K.build_symgs_forward, None),
+        (K.build_symgs_forward, K.schedule_symgs_wavefront),
+    ]
+
+    @pytest.mark.parametrize("builder,sched", CASES,
+                             ids=[f"{b.__name__}-{(s.__name__ if s else 'plain')}"
+                                  for b, s in CASES])
+    def test_verify(self, builder, sched):
+        bundle = builder()
+        if sched is not None:
+            sched(bundle)
+        assert bundle.verify(atol=1e-2)
+
+
+class TestSgemmSeparated:
+    def test_full_partial_separation_correct(self):
+        bundle = K.build_sgemm()
+        K.schedule_sgemm_cpu(bundle, 8, 4)
+        acc = bundle.computations["acc"]
+        acc.separate_all("i10", "j10")
+        assert bundle.verify(atol=1e-2)
+
+
+class TestWavefrontLegality:
+    def test_unskewed_parallel_inner_is_illegal(self):
+        from repro.core.deps import carried_at_level
+        bundle = K.build_symgs_forward()
+        sweep = bundle.computations["sweep"]
+        assert carried_at_level(bundle.function, sweep, 0)
+        assert carried_at_level(bundle.function, sweep, 1)
+
+    def test_skewed_inner_is_parallel(self):
+        from repro.core.deps import carried_at_level
+        bundle = K.build_symgs_forward()
+        K.schedule_symgs_wavefront(bundle)
+        sweep = bundle.computations["sweep"]
+        assert not carried_at_level(bundle.function, sweep, 1)
+
+
+class TestKernelBundleApi:
+    def test_verify_detects_mismatch(self):
+        bundle = K.build_cvtcolor()
+        original_ref = bundle.reference
+        bundle.reference = lambda inputs, params: {
+            k: v + 1.0 for k, v in original_ref(inputs, params).items()}
+        assert not bundle.verify()
+
+    def test_paper_params_present(self):
+        for builder in BUILDERS.values():
+            bundle = builder()
+            assert bundle.paper_params
+            assert bundle.test_params

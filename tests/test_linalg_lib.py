@@ -1,0 +1,66 @@
+"""The vendor-library stand-ins: executable kernels and modeled times."""
+
+import numpy as np
+import pytest
+
+from repro.linalg_lib import (CUBLAS_SGEMM_EFFICIENCY,
+                              MKL_SGEMM_EFFICIENCY, conv2d_nchw,
+                              cublas_sgemm_time, mkl_conv_time,
+                              mkl_sgemm_time, mkl_vgg_time, sgemm)
+
+
+class TestExecutableKernels:
+    def test_sgemm_contract(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 5)).astype(np.float32)
+        b = rng.random((5, 7)).astype(np.float32)
+        c = rng.random((6, 7)).astype(np.float32)
+        c0 = c.copy()
+        out = sgemm(2.0, a, b, 0.5, c)
+        assert out is c                       # in place
+        assert np.allclose(c, 2.0 * (a @ b) + 0.5 * c0, atol=1e-5)
+
+    def test_conv2d_nchw_matches_direct(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((2, 3, 9, 8)).astype(np.float32)
+        w = rng.random((4, 3, 3, 3)).astype(np.float32)
+        bias = rng.random(4).astype(np.float32)
+        out = conv2d_nchw(img, w, bias)
+        assert out.shape == (2, 4, 7, 6)
+        # spot-check one output element directly
+        b_, fo, y, x = 1, 2, 3, 4
+        direct = bias[fo]
+        for fi in range(3):
+            for ky in range(3):
+                for kx in range(3):
+                    direct += img[b_, fi, y + ky, x + kx] * w[fo, fi, ky, kx]
+        assert np.isclose(out[b_, fo, y, x], direct, atol=1e-4)
+
+
+class TestModeledTimes:
+    def test_sgemm_time_scales_cubically(self):
+        t1 = mkl_sgemm_time(100, 100, 100)
+        t2 = mkl_sgemm_time(200, 200, 200)
+        assert t2 == pytest.approx(8 * t1)
+
+    def test_efficiencies_are_fractions(self):
+        assert 0 < MKL_SGEMM_EFFICIENCY < 1
+        assert 0 < CUBLAS_SGEMM_EFFICIENCY < 1
+
+    def test_generic_conv_slower_per_flop_than_sgemm(self):
+        """The specialization argument: MKL's generic convolution runs at
+        a lower fraction of peak than its gemm."""
+        flops_conv = 2.0 * 2 * 3 * 3 * 64 * 64 * 9
+        t_conv = mkl_conv_time(2, 3, 3, 64, 64)
+        rate_conv = flops_conv / t_conv
+        flops_gemm = 2.0 * 128 ** 3
+        rate_gemm = flops_gemm / mkl_sgemm_time(128, 128, 128)
+        assert rate_conv < rate_gemm
+
+    def test_vgg_time_counts_two_convs(self):
+        assert mkl_vgg_time(2, 8, 64, 64) > mkl_conv_time(2, 8, 8, 64, 64)
+
+    def test_cublas_includes_transfers(self):
+        tiny = cublas_sgemm_time(8, 8, 8)
+        # latency floor: two PCIe latencies minimum
+        assert tiny > 2 * 10e-6

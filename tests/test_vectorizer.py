@@ -1,0 +1,146 @@
+"""Vectorized emission: when NumPy lane-parallel code is generated, when
+the emitter must fall back to scalar loops, and that both are correct."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer, Computation, Function, Input, Param, Var
+
+
+def has_vector_code(kernel) -> bool:
+    return "np.arange" in kernel.source
+
+
+class TestVectorEmission:
+    def test_elementwise_vectorizes(self):
+        f = Function("f")
+        with f:
+            inp = Input("inp", [Var("x", 0, 64)])
+            i = Var("i", 0, 64)
+            c = Computation("c", [i], None)
+            c.set_expression(inp(i) * 2.0 + 1.0)
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        assert has_vector_code(k)
+        data = np.arange(64, dtype=np.float32)
+        assert np.allclose(k(inp=data)["c"], data * 2 + 1)
+
+    def test_shifted_reads_of_other_buffer_vectorize(self):
+        f = Function("f")
+        with f:
+            inp = Input("inp", [Var("x", 0, 66)])
+            i = Var("i", 0, 64)
+            c = Computation("c", [i], None)
+            c.set_expression(inp(i) + inp(i + 2))
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        assert has_vector_code(k)
+        data = np.arange(66, dtype=np.float32)
+        assert np.allclose(k(inp=data)["c"], data[:64] + data[2:66])
+
+    def test_elementwise_self_update_vectorizes(self):
+        """c(i) = c(i) + 1: same-index self access is lane-safe."""
+        f = Function("f")
+        with f:
+            i = Var("i", 0, 32)
+            c = Computation("c", [i], None)
+            c.set_expression(c(i) + 1.0)
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        assert has_vector_code(k)
+        assert (k()["c"] == 1).all()
+
+    def test_strided_store_vectorizes_with_fancy_indexing(self):
+        f = Function("f")
+        with f:
+            i = Var("i", 0, 16)
+            buf = Buffer("b", [32])
+            c = Computation("c", [i], None)
+            c.set_expression(1.0 * i)
+            c.store_in(buf, [i * 2])
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        out = k()["b"]
+        assert np.allclose(out[::2], np.arange(16))
+        assert (out[1::2] == 0).all()
+
+
+class TestScalarFallback:
+    def test_loop_carried_self_dependence_falls_back(self):
+        """c(i) = c(i-1) + 1 must NOT vectorize (prefix sum)."""
+        f = Function("f")
+        with f:
+            i = Var("i", 1, 32)
+            buf = Buffer("b", [32])
+            z = Computation("z", [Var("u", 0, 1)], 1.0)
+            z.store_in(buf, [0])
+            c = Computation("c", [i], None)
+            c.set_expression(c(i - 1) + 1.0)
+            c.store_in(buf, [i])
+        c.after(z)
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        out = k()["b"]
+        assert np.allclose(out, np.arange(1, 33))  # correct despite tag
+
+    def test_predicate_falls_back(self):
+        f = Function("f")
+        with f:
+            inp = Input("inp", [Var("x", 0, 16)])
+            i = Var("i", 0, 16)
+            c = Computation("c", [i], 5.0)
+            c.add_predicate(inp(i) > 0.0)
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        data = np.array([1.0, -1.0] * 8, dtype=np.float32)
+        out = k(inp=data)["c"]
+        assert np.allclose(out, np.where(data > 0, 5.0, 0.0))
+
+    def test_vector_store_not_driven_by_lane_var_falls_back(self):
+        """Reduction over the tagged dim: all lanes write one cell."""
+        f = Function("f")
+        with f:
+            i, k_ = Var("i", 0, 8), Var("k", 0, 16)
+            buf = Buffer("acc", [8])
+            c = Computation("c", [i, k_], None)
+            c.set_expression(c(i, k_) + 1.0)
+            c.store_in(buf, [i])
+        c.vectorize("k", 8)
+        kern = f.compile("cpu")
+        out = kern()["acc"]
+        assert (out == 16).all()
+
+    def test_multi_statement_loop_falls_back(self):
+        f = Function("f")
+        with f:
+            i = Var("i", 0, 16)
+            a = Computation("a", [i], 1.0)
+            b = Computation("b", [Var("i2", 0, 16)], 2.0)
+        b.after(a, "i")
+        a.vectorize("i", 8)
+        b.vectorize("i2", 8)
+        from repro.core.errors import CodegenError
+        try:
+            k = f.compile("cpu")
+            out = k()
+            assert (out["a"] == 1).all() and (out["b"] == 2).all()
+        except CodegenError:
+            pytest.skip("fused vector loops rejected (acceptable)")
+
+
+class TestClampGatherVectorization:
+    def test_clamped_access_vectorizes_via_clip(self):
+        from repro.ir import clamp
+        N = Param("N")
+        f = Function("f", params=[N])
+        with f:
+            inp = Input("inp", [Var("x", 0, N)])
+            i = Var("i", 0, N)
+            c = Computation("c", [i], None)
+            c.set_expression(inp(clamp(i - 1, 0, N - 1)))
+        c.vectorize("i", 8)
+        k = f.compile("cpu")
+        data = np.arange(16, dtype=np.float32)
+        out = k(inp=data, N=16)["c"]
+        ref = data[np.clip(np.arange(16) - 1, 0, 15)]
+        assert np.allclose(out, ref)
