@@ -186,6 +186,33 @@ class TestSeparationAblation:
         assert after.kernel_seconds < before.kernel_seconds
 
 
+class TestCompileDriverAblation:
+    """The staged driver's compile cache: what re-running all four IR
+    lowering stages on every compile() was costing the schedule-search
+    hot loop.  Runs with TIRAMISU_TRACE=1 so each compile prints its
+    per-stage table (the harness's observability wiring)."""
+
+    def test_compile_cache_ablation_sgemm(self, monkeypatch, capsys):
+        monkeypatch.setenv("TIRAMISU_TRACE", "1")
+        from repro.evaluation.profiling import compile_profile, stage_rows
+        prof = compile_profile(build_sgemm,
+                               lambda b: schedule_sgemm_cpu(b, 32, 8))
+        rows = {
+            "cold compile (ms)": round(prof["cold_seconds"] * 1e3, 2),
+            "warm compile (ms)": round(prof["warm_seconds"] * 1e3, 2),
+            "speedup": round(prof["speedup"], 1),
+            "cache hits": prof["cache"]["hits"],
+            "cache misses": prof["cache"]["misses"],
+        }
+        rows.update(stage_rows(prof["cold_report"], prefix="cold "))
+        print_table("ablation: staged compile driver (sgemm cpu)", rows)
+        assert prof["traced"]
+        # The trace table itself went to stderr for every compile.
+        assert "tiramisu compile" in capsys.readouterr().err
+        assert prof["warm_report"].cache_hit
+        assert prof["speedup"] > 2.0
+
+
 class TestLayerSeparationAblation:
     """Layer II schedules never undo data-layout decisions: the same
     scheduled function retargets from AOS to SOA by changing ONLY Layer

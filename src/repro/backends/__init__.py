@@ -1,1 +1,9 @@
-"""Execution backends: CPU (NumPy), GPU simulator, distributed simulator."""
+"""Execution backends: CPU (NumPy), native C, GPU simulator, distributed
+simulator.
+
+Each backend registers itself with the driver's backend registry
+(:mod:`repro.driver.registry`) as a ``Backend`` with ``emit``/``bind``
+stages; ``Function.compile(target=...)`` resolves targets through that
+registry.  The ``compile_*`` free functions remain as deprecated shims
+over the staged pipeline.
+"""

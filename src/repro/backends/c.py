@@ -34,6 +34,8 @@ from repro.isl import Constraint, LinExpr
 from repro.isl.constraint import EQ
 from repro.isl.linexpr import OUT, PARAM
 
+from repro.driver.registry import Backend, register_backend
+
 from .cpu import collect_buffers, infer_argument_kinds
 
 _C_PRELUDE = """\
@@ -268,9 +270,10 @@ class CEmitter:
             f"operation {op.op_kind!r} is not lowered by the C backend")
 
 
-def emit_c_source(fn: Function) -> str:
-    infer_argument_kinds(fn)
-    ast = fn.lower()
+def emit_c_source(fn: Function, ast=None) -> str:
+    if ast is None:
+        infer_argument_kinds(fn)
+        ast = fn.lower()
     buffers = collect_buffers(fn)
     emitter = CEmitter(fn)
     args = []
@@ -356,17 +359,9 @@ def have_c_compiler() -> bool:
     return _cc_checked
 
 
-def compile_c(fn: Function, check_legality: bool = False,
-              verbose: bool = False,
-              extra_flags: Sequence[str] = ()) -> NativeKernel:
-    """Compile the function to native code via gcc."""
-    if not have_c_compiler():
-        raise ExecutionError("no C compiler available")
-    if check_legality:
-        fn.check_legality()
-    source = emit_c_source(fn)
-    if verbose:
-        print(source)
+def build_shared_object(source: str, extra_flags: Sequence[str] = ()) -> str:
+    """gcc-compile C source to a (content-addressed, reused) .so; returns
+    its path."""
     digest = hashlib.sha1(source.encode()).hexdigest()[:16]
     workdir = os.path.join(tempfile.gettempdir(), "tiramisu_c")
     os.makedirs(workdir, exist_ok=True)
@@ -381,4 +376,34 @@ def compile_c(fn: Function, check_legality: bool = False,
         if result.returncode != 0:
             raise CodegenError(
                 f"gcc failed:\n{result.stderr}\n--- source ---\n{source}")
-    return NativeKernel(fn, source, so_path, collect_buffers(fn))
+    return so_path
+
+
+@register_backend
+class CBackend(Backend):
+    """The native target: C99 + OpenMP emission, gcc + ctypes binding."""
+
+    name = "c"
+    extra_options = {"extra_flags": ()}
+
+    def emit(self, ctx) -> str:
+        if not have_c_compiler():
+            raise ExecutionError("no C compiler available")
+        return emit_c_source(ctx.fn, ast=ctx.ast)
+
+    def bind(self, ctx) -> NativeKernel:
+        so_path = build_shared_object(ctx.source,
+                                      ctx.opt("extra_flags", ()))
+        return NativeKernel(ctx.fn, ctx.source, so_path,
+                            collect_buffers(ctx.fn))
+
+
+def compile_c(fn: Function, check_legality: bool = False,
+              verbose: bool = False,
+              extra_flags: Sequence[str] = (), **opts) -> NativeKernel:
+    """Deprecated shim: compile to native code through the staged driver
+    (prefer ``fn.compile("c")``)."""
+    from repro.driver import compile_function
+    return compile_function(fn, target="c", check_legality=check_legality,
+                            verbose=verbose, extra_flags=tuple(extra_flags),
+                            **opts)

@@ -20,6 +20,7 @@ from repro.core.buffer import ArgKind, Buffer
 from repro.core.computation import Input, Operation
 from repro.core.errors import ExecutionError
 from repro.core.function import Function
+from repro.driver.registry import Backend, register_backend
 
 from .evalexpr import eval_const_expr
 
@@ -130,9 +131,12 @@ class CompiledKernel:
         return outputs
 
 
-def emit_source(fn: Function, emitter_cls=Emitter) -> str:
-    infer_argument_kinds(fn)
-    ast = fn.lower()
+def emit_source(fn: Function, emitter_cls=Emitter, ast=None) -> str:
+    """Emit the Python/NumPy kernel source.  ``ast`` is the staged
+    driver's pre-lowered AST; without it the function lowers itself."""
+    if ast is None:
+        infer_argument_kinds(fn)
+        ast = fn.lower()
     emitter = emitter_cls(fn, fn.param_names)
     emitter.line(f"def _kernel(_bufs, _params, _runtime=None):")
     emitter.indent += 1
@@ -145,16 +149,33 @@ def emit_source(fn: Function, emitter_cls=Emitter) -> str:
     return _PRELUDE + "\n" + emitter.buf.getvalue()
 
 
-def compile_cpu(fn: Function, check_legality: bool = False,
-                verbose: bool = False) -> CompiledKernel:
-    """Compile a function for the (multicore) CPU target."""
-    if check_legality:
-        fn.check_legality()
-    source = emit_source(fn)
-    if verbose:
-        print(source)
+def _bind_python_kernel(fn: Function, source: str, tag: str):
+    """exec() the emitted source and return its kernel entry point."""
     namespace: Dict[str, object] = {}
-    code = compile(source, f"<tiramisu:{fn.name}>", "exec")
+    code = compile(source, f"<{tag}:{fn.name}>", "exec")
     exec(code, namespace)
-    return CompiledKernel(fn, source, namespace["_kernel"],
-                          collect_buffers(fn), fn.param_names)
+    return namespace["_kernel"]
+
+
+@register_backend
+class CpuBackend(Backend):
+    """The multicore CPU target: Python/NumPy emission + exec binding."""
+
+    name = "cpu"
+
+    def emit(self, ctx) -> str:
+        return emit_source(ctx.fn, ast=ctx.ast)
+
+    def bind(self, ctx) -> CompiledKernel:
+        pyfunc = _bind_python_kernel(ctx.fn, ctx.source, "tiramisu")
+        return CompiledKernel(ctx.fn, ctx.source, pyfunc,
+                              collect_buffers(ctx.fn), ctx.fn.param_names)
+
+
+def compile_cpu(fn: Function, check_legality: bool = False,
+                verbose: bool = False, **opts) -> CompiledKernel:
+    """Deprecated shim: compile for the CPU target through the staged
+    driver (prefer ``fn.compile("cpu")``)."""
+    from repro.driver import compile_function
+    return compile_function(fn, target="cpu", check_legality=check_legality,
+                            verbose=verbose, **opts)

@@ -27,7 +27,10 @@ from repro.core.buffer import ArgKind
 from repro.core.errors import CodegenError, ExecutionError
 from repro.core.function import Function
 
-from .cpu import collect_buffers, emit_source, infer_argument_kinds
+from repro.driver.registry import Backend, register_backend
+
+from .cpu import (_bind_python_kernel, collect_buffers, emit_source,
+                  infer_argument_kinds)
 
 
 @dataclass
@@ -196,15 +199,27 @@ class DistributedKernel:
         return results   # type: ignore[return-value]
 
 
+@register_backend
+class DistributedBackend(Backend):
+    """The simulated MPI target: rank-conditional emission, exec binding."""
+
+    name = "distributed"
+
+    def emit(self, ctx) -> str:
+        return emit_source(ctx.fn, emitter_cls=DistEmitter, ast=ctx.ast)
+
+    def bind(self, ctx) -> DistributedKernel:
+        pyfunc = _bind_python_kernel(ctx.fn, ctx.source, "tiramisu-dist")
+        return DistributedKernel(ctx.fn, ctx.source, pyfunc,
+                                 collect_buffers(ctx.fn),
+                                 ctx.fn.param_names)
+
+
 def compile_distributed(fn: Function, check_legality: bool = False,
-                        verbose: bool = False) -> DistributedKernel:
-    """Compile for the simulated distributed-memory target."""
-    if check_legality:
-        fn.check_legality()
-    source = emit_source(fn, emitter_cls=DistEmitter)
-    if verbose:
-        print(source)
-    namespace: Dict[str, object] = {}
-    exec(compile(source, f"<tiramisu-dist:{fn.name}>", "exec"), namespace)
-    return DistributedKernel(fn, source, namespace["_kernel"],
-                             collect_buffers(fn), fn.param_names)
+                        verbose: bool = False, **opts) -> DistributedKernel:
+    """Deprecated shim: compile for the simulated distributed-memory
+    target through the staged driver (prefer ``fn.compile("distributed")``)."""
+    from repro.driver import compile_function
+    return compile_function(fn, target="distributed",
+                            check_legality=check_legality, verbose=verbose,
+                            **opts)

@@ -25,7 +25,10 @@ from repro.core.computation import Operation
 from repro.core.errors import CodegenError
 from repro.core.function import Function
 
-from .cpu import CompiledKernel, collect_buffers, compile_cpu, emit_source
+from repro.driver.registry import Backend, register_backend
+
+from .cpu import (CompiledKernel, _bind_python_kernel, collect_buffers,
+                  compile_cpu, emit_source)
 
 
 @dataclass
@@ -55,9 +58,10 @@ class GpuKernel(CompiledKernel):
         return self.launch_info
 
 
-def _launch_info(fn: Function) -> GpuLaunchInfo:
+def _launch_info(fn: Function, ast=None) -> GpuLaunchInfo:
     info = GpuLaunchInfo()
-    ast = fn.lower()
+    if ast is None:
+        ast = fn.lower()
     for loop in loops_in(ast):
         if loop.tag is None:
             continue
@@ -86,10 +90,11 @@ def _launch_info(fn: Function) -> GpuLaunchInfo:
     return info
 
 
-def validate_gpu_mapping(fn: Function) -> None:
+def validate_gpu_mapping(fn: Function, ast=None) -> None:
     """Every computation inside the device region must have gpu tags, and
     block dims must be outside thread dims."""
-    ast = fn.lower()
+    if ast is None:
+        ast = fn.lower()
 
     def check(node, seen_thread):
         if isinstance(node, Loop):
@@ -108,17 +113,29 @@ def validate_gpu_mapping(fn: Function) -> None:
     check(ast, False)
 
 
+@register_backend
+class GpuBackend(Backend):
+    """The simulated CUDA target: mapping validation + launch-info
+    extraction during emit, exec binding."""
+
+    name = "gpu"
+
+    def emit(self, ctx) -> str:
+        validate_gpu_mapping(ctx.fn, ctx.ast)
+        ctx.extras["launch_info"] = _launch_info(ctx.fn, ctx.ast)
+        return emit_source(ctx.fn, ast=ctx.ast)
+
+    def bind(self, ctx) -> GpuKernel:
+        pyfunc = _bind_python_kernel(ctx.fn, ctx.source, "tiramisu-gpu")
+        return GpuKernel(ctx.fn, ctx.source, pyfunc,
+                         collect_buffers(ctx.fn), ctx.fn.param_names,
+                         launch_info=ctx.extras["launch_info"])
+
+
 def compile_gpu(fn: Function, check_legality: bool = False,
-                verbose: bool = False) -> GpuKernel:
-    """Compile for the simulated GPU target."""
-    if check_legality:
-        fn.check_legality()
-    validate_gpu_mapping(fn)
-    info = _launch_info(fn)
-    source = emit_source(fn)
-    if verbose:
-        print(source)
-    namespace: Dict[str, object] = {}
-    exec(compile(source, f"<tiramisu-gpu:{fn.name}>", "exec"), namespace)
-    return GpuKernel(fn, source, namespace["_kernel"], collect_buffers(fn),
-                     fn.param_names, launch_info=info)
+                verbose: bool = False, **opts) -> GpuKernel:
+    """Deprecated shim: compile for the simulated GPU target through the
+    staged driver (prefer ``fn.compile("gpu")``)."""
+    from repro.driver import compile_function
+    return compile_function(fn, target="gpu", check_legality=check_legality,
+                            verbose=verbose, **opts)

@@ -49,18 +49,32 @@ class _Item:
         self.systems = systems
 
 
-def generate_ast(fn) -> Block:
+def generate_ast(fn, beta=None) -> Block:
     """Generate the loop AST for a function's current schedule."""
+    return build_ast(collect_items(fn, beta))
+
+
+def collect_items(fn, beta=None) -> List[_Item]:
+    """The time-space stage: turn each computation's scheduled instance
+    set into per-piece items with FM-projected constraint systems (the
+    driver times this separately from the loop synthesis below)."""
     comps = [c for c in fn.active_computations() if _generates_code(c)]
     if not comps:
         raise CodegenError(f"function {fn.name} has nothing to compute")
-    beta = fn.resolve_order()
+    if beta is None:
+        beta = fn.resolve_order()
     items: List[_Item] = []
     for c in comps:
         for piece in prepare_pieces(c.instances):
             item = _Item(c, piece, beta[c.name])
             item.project()
             items.append(item)
+    return items
+
+
+def build_ast(items: List[_Item]) -> Block:
+    """The AST-generation stage: Quilleré-style loop synthesis over the
+    prepared time-space items."""
     return _gen_block(items, 0, [])
 
 

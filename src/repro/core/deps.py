@@ -265,9 +265,10 @@ def _time_violation(rel: Map, n_out: int) -> bool:
     return False
 
 
-def check_schedule_legality(fn) -> None:
+def check_schedule_legality(fn) -> int:
     """Raise IllegalScheduleError if the current schedule reorders any
-    dependence (paper Section II-c / V).
+    dependence (paper Section II-c / V); returns the number of
+    dependences checked (recorded by the compile driver's profiling).
 
     Computations nested by ``compute_at`` execute *redundantly* (the
     overlapped tiling of Section III-C): every copy recomputes the same
@@ -279,7 +280,7 @@ def check_schedule_legality(fn) -> None:
     deps = [d for d in compute_dependences(fn)
             if d.source.anchor is None and d.sink.anchor is None]
     if not deps:
-        return
+        return 0
     beta = fn.resolve_order()
     depth = fn.max_depth()
     n_out = 2 * depth + 1
@@ -297,6 +298,7 @@ def check_schedule_legality(fn) -> None:
                 f"schedule violates {dep.kind} dependence "
                 f"{dep.source.name} -> {dep.sink.name} on buffer "
                 f"{dep.buffer.name}")
+    return len(deps)
 
 
 def carried_at_level(fn, comp, level: int) -> List[Dependence]:

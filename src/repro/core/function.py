@@ -164,30 +164,34 @@ class Function:
         return generate_ast(self)
 
     def compile(self, target: str = "cpu", **opts):
-        """Generate executable code for the given backend."""
-        if target == "cpu":
-            from repro.backends.cpu import compile_cpu
-            return compile_cpu(self, **opts)
-        if target == "c":
-            from repro.backends.c import compile_c
-            return compile_c(self, **opts)
-        if target == "gpu":
-            from repro.backends.gpu import compile_gpu
-            return compile_gpu(self, **opts)
-        if target == "distributed":
-            from repro.backends.distributed import compile_distributed
-            return compile_distributed(self, **opts)
-        raise ValueError(f"unknown target {target!r}")
+        """Generate executable code for the given backend.
+
+        Targets resolve through the backend registry
+        (:mod:`repro.driver.registry`) and compilation runs the staged
+        pipeline (:mod:`repro.driver.pipeline`): repeated calls on an
+        unchanged function return the cached kernel, and every kernel
+        carries a per-stage ``report`` (see docs/compiler_driver.md).
+        Unknown options raise ``TypeError`` naming the offending kwarg.
+        """
+        from repro.driver import compile_function
+        return compile_function(self, target=target, **opts)
 
     def dump_ir(self) -> str:
         """Textual dump of the four IR layers (paper Section IV)."""
         from .dump import dump_ir
         return dump_ir(self)
 
-    def check_legality(self) -> None:
-        """Verify the current schedule preserves all dependences."""
+    def check_legality(self) -> int:
+        """Verify the current schedule preserves all dependences; returns
+        the number of dependences checked."""
         from .deps import check_schedule_legality
-        check_schedule_legality(self)
+        return check_schedule_legality(self)
+
+    def ir_fingerprint(self, target: str = "", options=None) -> str:
+        """Stable content hash of this function's IR + schedule + layout
+        (the compile cache key; see :mod:`repro.driver.fingerprint`)."""
+        from repro.driver import ir_fingerprint
+        return ir_fingerprint(self, target, options)
 
     def arguments(self) -> List[Buffer]:
         """Input/output buffers, in declaration order."""

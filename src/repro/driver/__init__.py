@@ -1,0 +1,42 @@
+"""The staged compiler driver (the paper's single codegen entry point).
+
+`tiramisu::function` drives lowering through the four IR layers behind
+one call; this package reproduces that shape for the Python
+reproduction.  A :class:`CompilePipeline` runs explicit named stages
+(ensure-params -> legality -> beta-resolution -> time-space -> ast ->
+emit -> bind) over a :class:`CompileContext`, resolves targets through
+the :class:`Backend` registry, skips straight to a cached kernel when
+the function's :func:`ir_fingerprint` is unchanged, and attaches a
+per-stage :class:`CompileReport` to every kernel (``TIRAMISU_TRACE=1``
+prints the stage table).
+"""
+
+from .cache import CacheEntry, CompileCache, kernel_registry
+from .context import CompileContext
+from .fingerprint import ir_fingerprint
+from .pipeline import BASE_OPTIONS, CompilePipeline, compile_function
+from .registry import (Backend, UnknownTargetError, get_backend,
+                       register_backend, registered_targets)
+from .trace import (CompileReport, StageTiming, emit_trace, set_trace,
+                    trace_enabled)
+
+__all__ = [
+    "BASE_OPTIONS",
+    "Backend",
+    "CacheEntry",
+    "CompileCache",
+    "CompileContext",
+    "CompilePipeline",
+    "CompileReport",
+    "StageTiming",
+    "UnknownTargetError",
+    "compile_function",
+    "emit_trace",
+    "get_backend",
+    "ir_fingerprint",
+    "kernel_registry",
+    "register_backend",
+    "registered_targets",
+    "set_trace",
+    "trace_enabled",
+]

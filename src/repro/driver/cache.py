@@ -1,0 +1,98 @@
+"""The in-process kernel registry: an LRU-bounded compile cache.
+
+Entries are content-addressed by :func:`repro.driver.fingerprint.
+ir_fingerprint`; the autoscheduler's and benchmark harness's hot loop —
+compiling the same function/schedule pair over and over — hits the
+registry and skips every lowering stage.  The registry is bounded (LRU
+eviction) so a long schedule search cannot grow memory without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+DEFAULT_MAXSIZE = 64
+
+
+@dataclass
+class CacheEntry:
+    """One cached compile result."""
+
+    key: str            # ir_fingerprint at store time
+    fn: object          # the Function the kernel was compiled from
+    target: str
+    source: str
+    kernel: object
+
+
+class CompileCache:
+    """An LRU mapping fingerprint -> compiled kernel, with counters."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Return the entry for ``key`` (refreshing its LRU position), or
+        None.  Counters are the pipeline's to update: it may still
+        reject a found entry as stale."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def resize(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def keys(self):
+        return list(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._entries),
+                "maxsize": self.maxsize}
+
+
+#: The process-wide kernel registry used by :func:`compile_function`.
+kernel_registry = CompileCache()

@@ -1,0 +1,34 @@
+"""The compile context: what flows between pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CompileContext:
+    """Mutable state threaded through one run of the compile pipeline.
+
+    Each stage reads its inputs from here and writes its product back:
+    ``beta`` (beta-resolution), ``items`` (time-space domains), ``ast``
+    (AST generation), ``source`` (backend emit) and ``kernel`` (bind).
+    ``extras`` holds backend-specific products (e.g. the GPU backend's
+    launch info).
+    """
+
+    fn: object                               # repro.core.Function
+    target: str
+    options: Dict[str, object]
+    backend: object = None                   # repro.driver.registry.Backend
+    report: object = None                    # repro.driver.trace.CompileReport
+    fingerprint: str = ""
+    beta: Optional[Dict[str, List[int]]] = None
+    items: Optional[list] = None             # codegen time-space items
+    ast: object = None                       # repro.codegen.ast.Block
+    source: Optional[str] = None
+    kernel: object = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def opt(self, name: str, default=None):
+        return self.options.get(name, default)

@@ -1,0 +1,99 @@
+"""Content addressing for compiled kernels.
+
+:func:`ir_fingerprint` folds everything that determines the generated
+code — the function's computations (domains, expressions, schedules,
+tags), the static beta order, the data layout (Layer III buffers and
+store maps), the target, and the compile options — into one stable
+SHA-256 digest.  Two functions with the same fingerprint compile to the
+same kernel, so the digest is the key of the driver's compile cache;
+any scheduling command (``tile``, ``vectorize``, ``store_in``, ...)
+changes the digest and invalidates the entry.
+
+The IR's reprs are structural (expressions, linear forms and ISL sets
+print their contents, never object identities), which is what makes the
+digest stable across separately-built but identical functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, Optional
+
+
+def _stable(obj) -> str:
+    """A deterministic, structure-only string for fingerprint tokens."""
+    from repro.core.buffer import Buffer
+    from repro.core.computation import Computation
+
+    if isinstance(obj, Buffer):
+        sizes = ",".join(repr(s) for s in obj.sizes)
+        return (f"buf<{obj.name}|[{sizes}]|{obj.dtype!r}|{obj.kind.value}"
+                f"|{obj.mem_space.value}>")
+    if isinstance(obj, Computation):
+        return f"comp-ref<{obj.name}>"
+    if isinstance(obj, dict):
+        items = ",".join(f"{_stable(k)}:{_stable(v)}"
+                         for k, v in sorted(obj.items(), key=lambda kv:
+                                            repr(kv[0])))
+        return f"{{{items}}}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(_stable(v) for v in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(_stable(v) for v in obj)) + "}"
+    return repr(obj)
+
+
+def _computation_tokens(comp) -> Iterator[str]:
+    from repro.core.computation import Operation
+
+    yield f"comp:{type(comp).__name__}:{comp.name}"
+    yield f"vars:{','.join(comp.var_names)}"
+    yield f"domain:{comp.domain!r}"
+    yield f"expr:{comp.expr!r}"
+    yield f"predicate:{comp.predicate!r}"
+    yield f"dtype:{comp.dtype!r}"
+    yield f"inlined:{comp.inlined}"
+    # -- Layer II: the affine schedule ---------------------------------
+    yield f"time:{','.join(comp.time_names)}"
+    yield "rev:" + _stable({nm: repr(le) for nm, le in comp.rev.items()})
+    yield f"instances:{comp.instances!r}"
+    yield "tags:" + _stable({lvl: repr(tag)
+                             for lvl, tag in sorted(comp.tags.items())})
+    if comp.anchor is not None:
+        anchor_comp, anchor_level = comp.anchor
+        yield f"anchor:{anchor_comp.name}@{anchor_level}"
+    # -- Layer III: the data layout ------------------------------------
+    if isinstance(comp, Operation):
+        # Operations have no value/store of their own; their buffers
+        # live in the payload.
+        yield f"op:{comp.op_kind}"
+        yield "payload:" + _stable(comp.payload)
+    else:
+        yield "store:" + _stable([repr(e) for e in comp.store_indices()])
+        yield "buffer:" + _stable(comp.get_buffer())
+        if comp.cached_reads:
+            yield "cached_reads:" + _stable(comp.cached_reads)
+        if comp.cached_store is not None:
+            yield "cached_store:" + _stable(comp.cached_store)
+
+
+def ir_fingerprint(fn, target: str = "",
+                   options: Optional[Dict[str, object]] = None) -> str:
+    """Stable hash of a function's IR + schedule + target + options."""
+    h = hashlib.sha256()
+
+    def feed(token: str) -> None:
+        h.update(token.encode())
+        h.update(b"\x00")
+
+    feed(f"fn:{fn.name}")
+    feed("params:" + ",".join(fn.param_names))
+    for kind, a, b, level in fn.order_directives:
+        feed(f"order:{kind}:{a.name}:{b.name}:{level}")
+    for comp in fn.computations:
+        for token in _computation_tokens(comp):
+            feed(token)
+    feed(f"target:{target}")
+    for key, value in sorted((options or {}).items()):
+        feed(f"opt:{key}={_stable(value)}")
+    return h.hexdigest()

@@ -1,0 +1,161 @@
+"""The staged compile pipeline (Layer I -> callable kernel).
+
+One explicit flow replaces the four divergent ``compile_*`` free
+functions: ensure-params -> fingerprint -> [cache lookup] -> legality
+-> beta-resolution -> time-space -> ast -> emit -> bind.  Every stage
+is timed into the kernel's :class:`~repro.driver.trace.CompileReport`;
+a cache hit returns after the fingerprint stage with the registry's
+kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .cache import CacheEntry, CompileCache, kernel_registry
+from .context import CompileContext
+from .fingerprint import ir_fingerprint
+from .registry import Backend, get_backend
+from .trace import CompileReport, emit_trace
+
+#: Options every backend accepts, with their defaults.
+BASE_OPTIONS: Dict[str, object] = {
+    "check_legality": False,
+    "verbose": False,
+    "cache": True,
+}
+
+#: The stages a full (cold) compile runs, in order.
+STAGE_ORDER = ("ensure-params", "fingerprint", "legality",
+               "beta-resolution", "time-space", "ast", "emit", "bind")
+
+
+class CompilePipeline:
+    """Runs the named compile stages for one backend."""
+
+    def __init__(self, backend: Backend,
+                 cache: Optional[CompileCache] = None):
+        self.backend = backend
+        self.cache = kernel_registry if cache is None else cache
+
+    # -- option handling --------------------------------------------------
+
+    def normalize_options(self, opts: Dict[str, object]
+                          ) -> Dict[str, object]:
+        """Fill defaults; reject unknown options loudly (a typo like
+        ``check_legailty=True`` must never be silently ignored)."""
+        allowed = dict(BASE_OPTIONS)
+        allowed.update(self.backend.extra_options)
+        for key in opts:
+            if key not in allowed:
+                raise TypeError(
+                    f"compile() got an unexpected option {key!r} for "
+                    f"target {self.backend.name!r}; valid options: "
+                    f"{', '.join(sorted(allowed))}")
+        merged = dict(allowed)
+        merged.update(opts)
+        return merged
+
+    # -- stages -----------------------------------------------------------
+
+    def _ensure_params(self, ctx: CompileContext) -> None:
+        """Materialize everything the fingerprint must see: argument
+        kinds, auto-created buffers, parameters pulled from bounds.
+        Idempotent, so repeated compiles fingerprint identically."""
+        from repro.backends.cpu import infer_argument_kinds
+        infer_argument_kinds(ctx.fn)
+
+    def _cache_lookup(self, ctx: CompileContext):
+        """Return the registry's kernel for this fingerprint, or None.
+
+        An entry whose originating function was mutated *after* being
+        stored (content drift — in-place scheduling of a still-cached
+        function) no longer matches its own key; detect that by
+        re-fingerprinting the entry's function and drop the entry."""
+        entry = self.cache.get(ctx.fingerprint)
+        if entry is None:
+            return None
+        if entry.fn is not ctx.fn:
+            current = ir_fingerprint(entry.fn, self.backend.name,
+                                     self._key_options(ctx.options))
+            if current != ctx.fingerprint:
+                self.cache.discard(ctx.fingerprint)
+                return None
+        self.cache.record_hit()
+        return entry
+
+    def _key_options(self, options: Dict[str, object]) -> Dict[str, object]:
+        """The options that affect generated code (and hence the cache
+        key).  ``verbose`` and ``cache`` are driver behavior, not
+        content."""
+        return {k: v for k, v in options.items()
+                if k not in ("verbose", "cache")}
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self, fn, **opts):
+        """Compile ``fn`` through the staged pipeline; returns a kernel
+        with a ``report`` attribute."""
+        options = self.normalize_options(opts)
+        report = CompileReport(function=fn.name, target=self.backend.name)
+        ctx = CompileContext(fn=fn, target=self.backend.name,
+                             options=options, backend=self.backend,
+                             report=report)
+
+        with report.timed("ensure-params"):
+            self._ensure_params(ctx)
+        with report.timed("fingerprint"):
+            ctx.fingerprint = ir_fingerprint(
+                fn, self.backend.name, self._key_options(options))
+        report.fingerprint = ctx.fingerprint
+
+        use_cache = bool(options["cache"])
+        if use_cache:
+            entry = self._cache_lookup(ctx)
+            if entry is not None:
+                report.cache_hit = True
+                report.source_size = len(entry.source)
+                if options["verbose"]:
+                    print(entry.source)
+                return self._finish(ctx, entry.kernel)
+
+        if options["check_legality"]:
+            from repro.core.deps import check_schedule_legality
+            with report.timed("legality"):
+                report.deps_checked = check_schedule_legality(fn)
+
+        from repro.codegen.isl_to_ast import build_ast, collect_items
+        with report.timed("beta-resolution"):
+            ctx.beta = fn.resolve_order()
+        with report.timed("time-space"):
+            ctx.items = collect_items(fn, ctx.beta)
+        with report.timed("ast"):
+            ctx.ast = build_ast(ctx.items)
+
+        with report.timed("emit"):
+            ctx.source = self.backend.emit(ctx)
+        report.source_size = len(ctx.source)
+        if options["verbose"]:
+            print(ctx.source)
+
+        with report.timed("bind"):
+            ctx.kernel = self.backend.bind(ctx)
+
+        if use_cache:
+            self.cache.record_miss()
+            self.cache.put(CacheEntry(key=ctx.fingerprint, fn=fn,
+                                      target=self.backend.name,
+                                      source=ctx.source,
+                                      kernel=ctx.kernel))
+        return self._finish(ctx, ctx.kernel)
+
+    def _finish(self, ctx: CompileContext, kernel):
+        ctx.report.cache_stats = self.cache.stats()
+        kernel.report = ctx.report
+        emit_trace(ctx.report)
+        return kernel
+
+
+def compile_function(fn, target: str = "cpu", **opts):
+    """The unified compile entry point behind ``Function.compile``."""
+    return CompilePipeline(get_backend(target)).run(fn, **opts)

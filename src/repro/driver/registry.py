@@ -1,0 +1,94 @@
+"""The backend registry: targets resolve by name, not by if-chain.
+
+A backend is an object with a ``name``, an ``emit(ctx)`` stage (AST ->
+target source) and a ``bind(ctx)`` stage (source -> callable kernel);
+it declares any target-specific compile options in ``extra_options``.
+Backends self-register with :func:`register_backend`;
+``Function.compile(target=...)`` resolves through :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List
+
+from repro.core.errors import TiramisuError
+
+
+class UnknownTargetError(TiramisuError, ValueError):
+    """Asked to compile for a target nobody registered."""
+
+
+class Backend:
+    """Base class (and de-facto protocol) for compile targets.
+
+    Subclasses set ``name``, implement ``emit``/``bind``, and may extend
+    ``extra_options`` with target-specific option defaults (option names
+    outside the base set + ``extra_options`` are rejected with a
+    ``TypeError`` by the pipeline).
+    """
+
+    name: str = ""
+    #: target-specific compile options and their defaults
+    extra_options: Dict[str, object] = {}
+
+    def emit(self, ctx) -> str:
+        """Stage: lower the context's AST to target source."""
+        raise NotImplementedError
+
+    def bind(self, ctx):
+        """Stage: turn the emitted source into a callable kernel."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Backend {self.name}>"
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+# Built-in backends are imported lazily so `import repro` stays light;
+# importing the module runs its @register_backend decorators.
+_BUILTIN_MODULES = {
+    "cpu": "repro.backends.cpu",
+    "c": "repro.backends.c",
+    "gpu": "repro.backends.gpu",
+    "distributed": "repro.backends.distributed",
+}
+
+
+def register_backend(backend_cls):
+    """Class decorator: instantiate and register a Backend by its name."""
+    backend = backend_cls() if isinstance(backend_cls, type) else backend_cls
+    if not getattr(backend, "name", ""):
+        raise TiramisuError(
+            f"backend {backend_cls!r} must define a non-empty 'name'")
+    for stage in ("emit", "bind"):
+        if not callable(getattr(backend, stage, None)):
+            raise TiramisuError(
+                f"backend {backend.name!r} must implement {stage}(ctx)")
+    _REGISTRY[backend.name] = backend
+    return backend_cls
+
+
+def _load_builtins() -> None:
+    for module in _BUILTIN_MODULES.values():
+        importlib.import_module(module)
+
+
+def registered_targets() -> List[str]:
+    """All resolvable target names (loads the built-in backends)."""
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve a target name, loading built-in backends on demand."""
+    if name not in _REGISTRY:
+        module = _BUILTIN_MODULES.get(name)
+        if module is not None:
+            importlib.import_module(module)
+    if name not in _REGISTRY:
+        raise UnknownTargetError(
+            f"unknown compile target {name!r}; registered targets: "
+            f"{', '.join(registered_targets())}")
+    return _REGISTRY[name]

@@ -1,0 +1,113 @@
+"""Per-stage compile profiling: stage timings, cache counters, trace.
+
+Every compiled kernel carries a :class:`CompileReport` (``kernel.report``)
+recording wall time per pipeline stage, whether the compile was served
+from the content-addressed cache, the emitted source size, and a
+snapshot of the cache counters.  Setting ``TIRAMISU_TRACE=1`` in the
+environment (or calling :func:`set_trace`) prints the stage table to
+stderr after every compile — the autoscheduler's and benchmark
+harness's way of seeing where compile time goes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+TRACE_ENV = "TIRAMISU_TRACE"
+
+_forced: Optional[bool] = None
+
+
+def set_trace(enabled: Optional[bool]) -> None:
+    """Force tracing on/off programmatically; ``None`` defers to the
+    ``TIRAMISU_TRACE`` environment variable again."""
+    global _forced
+    _forced = enabled
+
+
+def trace_enabled() -> bool:
+    if _forced is not None:
+        return _forced
+    return os.environ.get(TRACE_ENV, "").strip() not in ("", "0", "false",
+                                                         "off")
+
+
+@dataclass
+class StageTiming:
+    """Wall time of one named pipeline stage."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class CompileReport:
+    """What one ``compile()`` call did and what it cost."""
+
+    function: str
+    target: str
+    fingerprint: str = ""
+    cache_hit: bool = False
+    stages: List[StageTiming] = field(default_factory=list)
+    source_size: int = 0
+    deps_checked: Optional[int] = None
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    def stage_seconds(self, name: str) -> Optional[float]:
+        for s in self.stages:
+            if s.name == name:
+                return s.seconds
+        return None
+
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self.stages]
+
+    @contextmanager
+    def timed(self, name: str):
+        """Time a pipeline stage and append it to the report."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages.append(
+                StageTiming(name, time.perf_counter() - start))
+
+    def format_table(self) -> str:
+        verdict = "hit" if self.cache_hit else "miss"
+        lines = [f"== tiramisu compile: {self.function} -> {self.target} "
+                 f"[cache {verdict}] =="]
+        lines.append(f"  {'stage':<16} {'ms':>10}")
+        for s in self.stages:
+            lines.append(f"  {s.name:<16} {s.seconds * 1e3:>10.3f}")
+        lines.append(f"  {'total':<16} {self.total_seconds * 1e3:>10.3f}")
+        if self.source_size:
+            lines.append(f"  source: {self.source_size} bytes")
+        if self.deps_checked is not None:
+            lines.append(f"  legality: {self.deps_checked} dependences "
+                         "checked")
+        if self.cache_stats:
+            cs = self.cache_stats
+            lines.append(
+                f"  cache: {cs.get('hits', 0)} hits / "
+                f"{cs.get('misses', 0)} misses / "
+                f"{cs.get('evictions', 0)} evictions "
+                f"(size {cs.get('size', 0)}/{cs.get('maxsize', 0)})")
+        lines.append(f"  key: {self.fingerprint[:16]}")
+        return "\n".join(lines)
+
+
+def emit_trace(report: CompileReport, stream=None) -> None:
+    """Print the stage table when tracing is enabled."""
+    if not trace_enabled():
+        return
+    print(report.format_table(), file=stream if stream is not None
+          else sys.stderr)
