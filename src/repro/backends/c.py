@@ -36,7 +36,7 @@ from repro.isl.linexpr import OUT, PARAM
 
 from repro.driver.registry import Backend, register_backend
 
-from .cpu import collect_buffers, infer_argument_kinds
+from .common import collect_buffers, infer_argument_kinds
 
 _C_PRELUDE = """\
 #include <stdint.h>
@@ -403,6 +403,10 @@ def compile_c(fn: Function, check_legality: bool = False,
               extra_flags: Sequence[str] = (), **opts) -> NativeKernel:
     """Deprecated shim: compile to native code through the staged driver
     (prefer ``fn.compile("c")``)."""
+    import warnings
+    warnings.warn(
+        'compile_c() is deprecated; use Function.compile("c") — the one '
+        "staged-driver entry point", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="c", check_legality=check_legality,
                             verbose=verbose, extra_flags=tuple(extra_flags),

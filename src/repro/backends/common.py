@@ -1,0 +1,86 @@
+"""Backend-neutral helpers shared by every compile target.
+
+Historically these lived in :mod:`repro.backends.cpu` and the C, GPU and
+distributed backends (and the compile driver) imported them from there —
+a cross-backend dependency on one concrete target.  They are target
+independent: argument-kind inference and buffer collection read only
+Layer I/III information, and Python-source binding is shared by every
+exec-based backend.  ``repro.backends.cpu`` re-exports them for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.buffer import ArgKind, Buffer
+from repro.core.computation import Input, Operation
+from repro.core.function import Function
+
+
+def infer_argument_kinds(fn: Function) -> None:
+    """Mark buffers: inputs keep INPUT; computations nobody consumes
+    become OUTPUT arguments (named after the computation)."""
+    from repro.ir.expr import accesses_in
+    consumed = set()
+    consumed_buffers = set()
+    for c in fn.computations:
+        if isinstance(c, Operation):
+            src = c.payload.get("src")
+            if src is not None:
+                consumed_buffers.add(id(src))
+            continue
+        if c.expr is None:
+            continue
+        for acc in accesses_in(c.expr):
+            producer = acc.computation
+            if producer is c:
+                continue
+            if producer.get_buffer() is c.get_buffer():
+                # Same-buffer access (reduction clones, separated
+                # partial tiles): not a real consumption.
+                continue
+            consumed.add(producer.name)
+    for c in fn.active_computations():
+        if isinstance(c, (Input, Operation)):
+            continue
+        buf = c.get_buffer()
+        if c.name not in consumed and id(buf) not in consumed_buffers \
+                and buf.kind == ArgKind.TEMPORARY:
+            buf.kind = ArgKind.OUTPUT
+            if buf.name == f"_{c.name}_b":
+                buf.name = c.name
+
+
+def collect_buffers(fn: Function) -> List[Buffer]:
+    """Every buffer the generated code touches, in first-use order."""
+    seen: Dict[int, Buffer] = {}
+    order: List[Buffer] = []
+    for c in fn.computations:
+        if isinstance(c, Operation):
+            for key in ("buffer", "src", "dst"):
+                b = c.payload.get(key)
+                if isinstance(b, Buffer) and id(b) not in seen:
+                    seen[id(b)] = b
+                    order.append(b)
+            continue
+        if c.inlined:
+            continue
+        candidates = [c.get_buffer()]
+        for shared, *_ in c.cached_reads.values():
+            candidates.append(shared)
+        if c.cached_store is not None:
+            candidates.append(c.cached_store[0])
+        for b in candidates:
+            if id(b) not in seen:
+                seen[id(b)] = b
+                order.append(b)
+    return order
+
+
+def bind_python_kernel(fn: Function, source: str, tag: str):
+    """exec() emitted Python source and return its ``_kernel`` entry."""
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<{tag}:{fn.name}>", "exec")
+    exec(code, namespace)
+    return namespace["_kernel"]

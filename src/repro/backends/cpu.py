@@ -3,85 +3,31 @@
 This plays the role of the paper's LLVM backend (reached through Halide
 lowering in the original system): the polyhedral AST is emitted as
 executable code.  Loops tagged ``vector`` become NumPy array arithmetic;
-loops tagged ``parallel`` are annotated (execution is sequential — the
-timing effect of parallelism is captured by
-:mod:`repro.machine.cpu_model`, as documented in DESIGN.md).
+top-level loops tagged ``parallel`` become chunked worker functions that
+execute on a real multicore pool (:mod:`repro.backends.parallel`) when
+``num_threads`` resolves to two or more workers, and run sequentially
+otherwise.  The modeled speedups in :mod:`repro.machine.cpu_model`
+remain available for the paper-scale figures.
 """
 
 from __future__ import annotations
 
-import textwrap
+import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.codegen.pyemit import _PRELUDE, Emitter, _buf_var
 from repro.core.buffer import ArgKind, Buffer
-from repro.core.computation import Input, Operation
 from repro.core.errors import ExecutionError
 from repro.core.function import Function
 from repro.driver.registry import Backend, register_backend
 
+# Backend-neutral helpers moved to repro.backends.common; re-exported
+# here for backwards compatibility with pre-existing imports.
+from .common import (bind_python_kernel, collect_buffers,
+                     infer_argument_kinds)
 from .evalexpr import eval_const_expr
-
-
-def infer_argument_kinds(fn: Function) -> None:
-    """Mark buffers: inputs keep INPUT; computations nobody consumes
-    become OUTPUT arguments (named after the computation)."""
-    from repro.ir.expr import accesses_in
-    consumed = set()
-    consumed_buffers = set()
-    for c in fn.computations:
-        if isinstance(c, Operation):
-            src = c.payload.get("src")
-            if src is not None:
-                consumed_buffers.add(id(src))
-            continue
-        if c.expr is None:
-            continue
-        for acc in accesses_in(c.expr):
-            producer = acc.computation
-            if producer is c:
-                continue
-            if producer.get_buffer() is c.get_buffer():
-                # Same-buffer access (reduction clones, separated
-                # partial tiles): not a real consumption.
-                continue
-            consumed.add(producer.name)
-    for c in fn.active_computations():
-        if isinstance(c, (Input, Operation)):
-            continue
-        buf = c.get_buffer()
-        if c.name not in consumed and id(buf) not in consumed_buffers \
-                and buf.kind == ArgKind.TEMPORARY:
-            buf.kind = ArgKind.OUTPUT
-            if buf.name == f"_{c.name}_b":
-                buf.name = c.name
-
-
-def collect_buffers(fn: Function) -> List[Buffer]:
-    seen: Dict[int, Buffer] = {}
-    order: List[Buffer] = []
-    for c in fn.computations:
-        if isinstance(c, Operation):
-            for key in ("buffer", "src", "dst"):
-                b = c.payload.get(key)
-                if isinstance(b, Buffer) and id(b) not in seen:
-                    seen[id(b)] = b
-                    order.append(b)
-            continue
-        if c.inlined:
-            continue
-        candidates = [c.get_buffer()]
-        for shared, *_ in c.cached_reads.values():
-            candidates.append(shared)
-        if c.cached_store is not None:
-            candidates.append(c.cached_store[0])
-        for b in candidates:
-            if id(b) not in seen:
-                seen[id(b)] = b
-                order.append(b)
-    return order
 
 
 class CompiledKernel:
@@ -94,6 +40,7 @@ class CompiledKernel:
         self._pyfunc = pyfunc
         self.buffers = buffers
         self.param_names = list(param_names)
+        self.runtime = None  # ParallelRuntime when multicore is active
 
     def argument_names(self) -> List[str]:
         return [b.name for b in self.buffers
@@ -127,34 +74,36 @@ class CompiledKernel:
                 arrays[buf.name] = buf.allocate(params)
         if kwargs:
             raise ExecutionError(f"unknown arguments: {sorted(kwargs)}")
-        self._pyfunc(arrays, params, _runtime)
+        runtime = _runtime if _runtime is not None else self.runtime
+        if runtime is not None and getattr(runtime, "sharing", None) \
+                and runtime.enabled():
+            with runtime.sharing(arrays) as shared:
+                self._pyfunc(shared, params, runtime)
+        else:
+            self._pyfunc(arrays, params, runtime)
         return outputs
 
 
 def emit_source(fn: Function, emitter_cls=Emitter, ast=None) -> str:
     """Emit the Python/NumPy kernel source.  ``ast`` is the staged
-    driver's pre-lowered AST; without it the function lowers itself."""
+    driver's pre-lowered AST; without it the function lowers itself.
+    Chunked parallel body functions (if any) precede ``_kernel``."""
     if ast is None:
         infer_argument_kinds(fn)
         ast = fn.lower()
     emitter = emitter_cls(fn, fn.param_names)
-    emitter.line(f"def _kernel(_bufs, _params, _runtime=None):")
+    emitter.line("def _kernel(_bufs, _params, _runtime=None):")
     emitter.indent += 1
-    for p in fn.param_names:
-        emitter.line(f"{p} = _params[{p!r}]")
-    for buf in collect_buffers(fn):
-        emitter.line(f"{_buf_var(buf)} = _bufs[{buf.name!r}]")
+    emitter.emit_prologue()
     emitter.emit_block(ast)
     emitter.indent -= 1
-    return _PRELUDE + "\n" + emitter.buf.getvalue()
+    bodies = "".join(body + "\n" for body in emitter.parallel_bodies)
+    return _PRELUDE + "\n" + bodies + emitter.buf.getvalue()
 
 
 def _bind_python_kernel(fn: Function, source: str, tag: str):
     """exec() the emitted source and return its kernel entry point."""
-    namespace: Dict[str, object] = {}
-    code = compile(source, f"<{tag}:{fn.name}>", "exec")
-    exec(code, namespace)
-    return namespace["_kernel"]
+    return bind_python_kernel(fn, source, tag)
 
 
 @register_backend
@@ -162,20 +111,32 @@ class CpuBackend(Backend):
     """The multicore CPU target: Python/NumPy emission + exec binding."""
 
     name = "cpu"
+    parallel_execution = True
 
     def emit(self, ctx) -> str:
         return emit_source(ctx.fn, ast=ctx.ast)
 
     def bind(self, ctx) -> CompiledKernel:
         pyfunc = _bind_python_kernel(ctx.fn, ctx.source, "tiramisu")
-        return CompiledKernel(ctx.fn, ctx.source, pyfunc,
-                              collect_buffers(ctx.fn), ctx.fn.param_names)
+        kernel = CompiledKernel(ctx.fn, ctx.source, pyfunc,
+                                collect_buffers(ctx.fn),
+                                ctx.fn.param_names)
+        kernel.parallel_regions = ctx.source.count("\ndef _par_body_")
+        if kernel.parallel_regions and ctx.opt("parallel", True):
+            from .parallel import ParallelRuntime, resolve_num_threads
+            workers = resolve_num_threads(ctx.opt("num_threads"))
+            if workers >= 2:
+                kernel.runtime = ParallelRuntime(ctx.source, workers)
+        return kernel
 
 
 def compile_cpu(fn: Function, check_legality: bool = False,
                 verbose: bool = False, **opts) -> CompiledKernel:
     """Deprecated shim: compile for the CPU target through the staged
     driver (prefer ``fn.compile("cpu")``)."""
+    warnings.warn(
+        'compile_cpu() is deprecated; use Function.compile("cpu") — the '
+        "one staged-driver entry point", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="cpu", check_legality=check_legality,
                             verbose=verbose, **opts)

@@ -29,8 +29,8 @@ from repro.core.function import Function
 
 from repro.driver.registry import Backend, register_backend
 
-from .cpu import (_bind_python_kernel, collect_buffers, emit_source,
-                  infer_argument_kinds)
+from .common import collect_buffers, infer_argument_kinds
+from .cpu import _bind_python_kernel, emit_source
 
 
 @dataclass
@@ -109,7 +109,9 @@ class DistEmitter(Emitter):
                       f"({loop.var})")
             self.line(f"if {var} >= {lo} and {var} <= ({hi}):")
             self.indent += 1
+            self._depth += 1  # the rank var binds in this frame only
             self.emit_block(loop.body)
+            self._depth -= 1
             self.indent -= 1
             return
         super().emit_loop(loop)
@@ -219,6 +221,11 @@ def compile_distributed(fn: Function, check_legality: bool = False,
                         verbose: bool = False, **opts) -> DistributedKernel:
     """Deprecated shim: compile for the simulated distributed-memory
     target through the staged driver (prefer ``fn.compile("distributed")``)."""
+    import warnings
+    warnings.warn(
+        'compile_distributed() is deprecated; use '
+        'Function.compile("distributed") — the one staged-driver entry '
+        "point", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="distributed",
                             check_legality=check_legality, verbose=verbose,

@@ -136,6 +136,10 @@ def compile_gpu(fn: Function, check_legality: bool = False,
                 verbose: bool = False, **opts) -> GpuKernel:
     """Deprecated shim: compile for the simulated GPU target through the
     staged driver (prefer ``fn.compile("gpu")``)."""
+    import warnings
+    warnings.warn(
+        'compile_gpu() is deprecated; use Function.compile("gpu") — the '
+        "one staged-driver entry point", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="gpu", check_legality=check_legality,
                             verbose=verbose, **opts)

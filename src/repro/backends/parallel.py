@@ -1,0 +1,247 @@
+"""Multicore execution runtime for ``parallelize``-tagged loops.
+
+The CPU backend emits each safe top-level parallel loop as a chunked
+worker function ``_par_body_k(_bufs, _params, _lo, _hi)`` (see
+:mod:`repro.codegen.pyemit`).  This module supplies the runtime that
+dispatches those chunks onto real cores:
+
+* a process pool (``concurrent.futures.ProcessPoolExecutor``, fork
+  start method when available so workers inherit the warm interpreter),
+  cached per worker count and shut down at exit;
+* shared output buffers — the kernel's arrays are staged into
+  ``multiprocessing.shared_memory`` segments for the duration of a
+  call, so every worker writes the same pages and the parent copies
+  results back out;
+* per-worker chunk scheduling — the iteration range ``[lo, hi]`` is
+  split into at most ``num_threads`` contiguous chunks, one future per
+  chunk;
+* graceful sequential fallback — when the machine has one core, the
+  pool cannot be created, the range is trivial, or no shared staging is
+  active, ``offload`` answers ``False`` and the emitted code calls the
+  body inline.
+
+Workers never receive live kernel objects (exec'd functions do not
+pickle): each chunk carries the emitted source and its digest, and the
+worker process re-execs it once, caching the namespace per digest.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+
+
+def resolve_num_threads(value) -> int:
+    """The ``num_threads`` compile option resolved to a worker count:
+    ``None`` (or 0) means every core the machine has."""
+    if value is None or value == 0:
+        return os.cpu_count() or 1
+    n = int(value)
+    if n < 1:
+        raise ValueError(f"num_threads must be a positive int, got {value!r}")
+    return n
+
+
+def chunk_ranges(lo: int, hi: int, n: int) -> List[Tuple[int, int]]:
+    """Split the inclusive range [lo, hi] into <= n balanced contiguous
+    chunks (the larger chunks first)."""
+    trip = hi - lo + 1
+    n = max(1, min(n, trip))
+    base, extra = divmod(trip, n)
+    out: List[Tuple[int, int]] = []
+    start = lo
+    for k in range(n):
+        size = base + (1 if k < extra else 0)
+        out.append((start, start + size - 1))
+        start += size
+    return out
+
+
+# -- worker side -------------------------------------------------------------
+
+_SOURCE_CACHE: Dict[str, dict] = {}  # per-process: digest -> exec namespace
+
+
+def _load_namespace(digest: str, source: str) -> dict:
+    ns = _SOURCE_CACHE.get(digest)
+    if ns is None:
+        ns = {}
+        exec(compile(source, f"<tiramisu-par:{digest[:12]}>", "exec"), ns)
+        _SOURCE_CACHE[digest] = ns
+    return ns
+
+
+def _exec_chunk(digest: str, source: str, body_name: str, specs,
+                params: Dict[str, int], lo: int, hi: int) -> int:
+    """Run one chunk of a parallel loop inside a worker process."""
+    ns = _load_namespace(digest, source)
+    attached: List[shared_memory.SharedMemory] = []
+    bufs: Dict[str, np.ndarray] = {}
+    try:
+        for name, (shm_name, shape, dtype) in specs.items():
+            shm = shared_memory.SharedMemory(name=shm_name)
+            attached.append(shm)
+            bufs[name] = np.ndarray(shape, dtype=np.dtype(dtype),
+                                    buffer=shm.buf)
+        ns[body_name](bufs, params, lo, hi)
+        return os.getpid()
+    finally:
+        bufs.clear()
+        for shm in attached:
+            try:
+                shm.close()
+            except BufferError:  # a stray view kept the mapping alive
+                pass
+
+
+# -- pool management ---------------------------------------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOL_UNAVAILABLE = False
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+
+def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    global _POOL_UNAVAILABLE
+    if _POOL_UNAVAILABLE:
+        return None
+    pool = _POOLS.get(workers)
+    if pool is None:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=_mp_context())
+        except (OSError, ValueError, NotImplementedError):
+            _POOL_UNAVAILABLE = True
+            return None
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached worker pool (also runs atexit)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=True, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# -- the runtime -------------------------------------------------------------
+
+@dataclass
+class ParallelStats:
+    """What the pool actually did, for reports and tests."""
+    regions: int = 0         # parallel loop executions dispatched
+    chunks: int = 0          # total chunk futures submitted
+    max_workers: int = 0     # widest single dispatch
+    worker_pids: tuple = ()  # distinct pids that ran chunks
+
+
+class ParallelRuntime:
+    """Hands chunked parallel loop bodies to the worker pool.
+
+    The emitted kernel probes ``offload(trip)`` per parallel loop and
+    calls ``run(body, params, lo, hi)`` when it answers True; the
+    kernel wrapper stages its arrays through ``sharing(arrays)`` for
+    the duration of the call so workers see (and write) the same
+    memory.
+    """
+
+    def __init__(self, source: str, num_threads: int,
+                 min_chunk_iters: int = 1):
+        self.source = source
+        self.digest = hashlib.sha256(source.encode()).hexdigest()
+        self.num_threads = int(num_threads)
+        self.min_chunk_iters = min_chunk_iters
+        self.stats = ParallelStats()
+        self._specs = None  # buffer name -> (shm name, shape, dtype str)
+
+    def enabled(self) -> bool:
+        return self.num_threads >= 2 \
+            and _get_pool(self.num_threads) is not None
+
+    def offload(self, trip: int) -> bool:
+        return (self._specs is not None
+                and trip >= 2 * self.min_chunk_iters
+                and self.enabled())
+
+    @contextmanager
+    def sharing(self, arrays: Dict[str, np.ndarray]):
+        """Stage ``arrays`` into shared memory; copy results back on
+        normal exit and always release the segments."""
+        shms: List[Tuple[str, shared_memory.SharedMemory]] = []
+        views: Dict[str, np.ndarray] = {}
+        specs: Dict[str, Tuple[str, tuple, str]] = {}
+        try:
+            for name, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes))
+                shms.append((name, shm))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                views[name] = view
+                specs[name] = (shm.name, arr.shape, arr.dtype.str)
+            self._specs = specs
+            yield views
+            for name, _ in shms:
+                dst = np.asarray(arrays[name])
+                if dst.flags.writeable:
+                    np.copyto(dst, views[name])
+        finally:
+            self._specs = None
+            views.clear()
+            for _, shm in shms:
+                try:
+                    shm.close()
+                except BufferError:
+                    pass
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def run(self, body, params: Dict[str, int], lo: int, hi: int) -> None:
+        """Execute one parallel loop: split [lo, hi] into chunks and
+        block until every worker finishes."""
+        pool = _get_pool(self.num_threads)
+        if pool is None or self._specs is None:  # raced a pool teardown
+            raise ExecutionError(
+                f"parallel region {body.__name__} has no active pool")
+        bounds = chunk_ranges(lo, hi, self.num_threads)
+        futures = [
+            pool.submit(_exec_chunk, self.digest, self.source,
+                        body.__name__, self._specs, params, clo, chi)
+            for clo, chi in bounds]
+        self.stats.regions += 1
+        self.stats.chunks += len(bounds)
+        self.stats.max_workers = max(self.stats.max_workers, len(bounds))
+        pids = set(self.stats.worker_pids)
+        errors: List[BaseException] = []
+        for fut in futures:
+            try:
+                pids.add(fut.result())
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+        self.stats.worker_pids = tuple(sorted(pids))
+        if errors:
+            raise ExecutionError(
+                f"parallel region {body.__name__} failed in a worker: "
+                f"{errors[0]}") from errors[0]

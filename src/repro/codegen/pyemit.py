@@ -10,6 +10,17 @@ evaluated lane-parallel), provided the statement is safe to vectorize:
 no guards or predicate, the vector variable appears in the statement's
 store indices, and any read of the stored buffer uses exactly the store
 indices (no loop-carried dependence along the vector lanes).
+
+Top-level loop dimensions tagged ``parallel`` are lowered to a *chunked
+worker function*: the loop body is emitted as a standalone
+``_par_body_k(_bufs, _params, _lo, _hi)`` function and the loop itself
+becomes a dispatch that hands contiguous chunks of the iteration range
+to the runtime's worker pool (:mod:`repro.backends.parallel`) when one
+is attached, and calls the body sequentially otherwise.  Offload is
+only emitted when the body is safe to run in another process: a pure
+compute nest (no runtime operations anywhere in the function, no
+shared-memory staging buffers) whose loop sits at the outermost level,
+so every name the body needs comes from ``_bufs``/``_params`` alone.
 """
 
 from __future__ import annotations
@@ -98,6 +109,10 @@ class Emitter:
         self.indent = 0
         self._tmp = 0
         self.current_comp = None  # statement being emitted (cache lookup)
+        self._depth = 0           # loop-nest depth of the current node
+        self._par_count = 0
+        self.parallel_bodies: List[str] = []  # chunked worker functions
+        self._fn_offload_ok: Optional[bool] = None
 
     # -- low-level writing --------------------------------------------------
 
@@ -107,6 +122,18 @@ class Emitter:
     def fresh(self, prefix: str = "_v") -> str:
         self._tmp += 1
         return f"{prefix}{self._tmp}"
+
+    def emit_prologue(self) -> None:
+        """Unpack parameters and buffers from the call dictionaries.
+
+        Shared by the ``_kernel`` entry point and by every chunked
+        parallel body function, so a body re-executed in a worker
+        process rebuilds exactly the names the nest references."""
+        from repro.backends.common import collect_buffers
+        for p in self.params:
+            self.line(f"{p} = _params[{p!r}]")
+        for buffer in collect_buffers(self.fn):
+            self.line(f"{_buf_var(buffer)} = _bufs[{buffer.name!r}]")
 
     # -- expression lowering -------------------------------------------------
 
@@ -222,13 +249,84 @@ class Emitter:
         if loop.tag is not None and loop.tag.kind == "vector":
             if self._try_emit_vector(loop, lo, hi):
                 return
+        if loop.tag is not None and loop.tag.kind == "parallel" \
+                and self._depth == 0 and self._offload_safe(loop):
+            self._emit_parallel_dispatch(loop, lo, hi)
+            return
         comment = ""
         if loop.tag is not None:
             comment = f"  # {loop.tag.kind} loop ({loop.var})"
         self.line(f"for {var} in range({lo}, ({hi}) + 1):{comment}")
         self.indent += 1
+        self._depth += 1
         self.emit_block(loop.body)
+        self._depth -= 1
         self.indent -= 1
+
+    # -- parallel offload ---------------------------------------------------
+
+    def _offload_safe(self, loop: Loop) -> bool:
+        """Can this loop's body run in another process, given only
+        ``_bufs``/``_params``?  Runtime operations (allocations rebind
+        buffer names in the entry frame, sends/copies/barriers need the
+        live runtime) and staged cache buffers (filled by an operation
+        in the enclosing frame) pin the nest to ``_kernel``."""
+        if self._fn_offload_ok is None:
+            from repro.core.computation import Operation
+            self._fn_offload_ok = not any(
+                isinstance(c, Operation) for c in self.fn.computations)
+        if not self._fn_offload_ok:
+            return False
+        todo: List[Node] = [loop]
+        while todo:
+            node = todo.pop()
+            if isinstance(node, Stmt):
+                comp = node.comp
+                if comp.cached_reads or comp.cached_store is not None:
+                    return False
+            elif isinstance(node, Loop):
+                todo.extend(node.body.children)
+            elif isinstance(node, Block):
+                todo.extend(node.children)
+        return True
+
+    def _emit_parallel_dispatch(self, loop: Loop, lo: str, hi: str) -> None:
+        self._par_count += 1
+        name = f"_par_body_{self._par_count}"
+        self.parallel_bodies.append(self._render_parallel_body(name, loop))
+        lo_v = self.fresh("_plo")
+        hi_v = self.fresh("_phi")
+        self.line(f"{lo_v} = {lo}")
+        self.line(f"{hi_v} = {hi}")
+        self.line(f"if getattr(_runtime, 'offload', None) is not None "
+                  f"and _runtime.offload({hi_v} - {lo_v} + 1):")
+        self.indent += 1
+        self.line(f"_runtime.run({name}, _params, {lo_v}, {hi_v})"
+                  f"  # parallel loop ({loop.var})")
+        self.indent -= 1
+        self.line("else:")
+        self.indent += 1
+        self.line(f"{name}(_bufs, _params, {lo_v}, {hi_v})")
+        self.indent -= 1
+
+    def _render_parallel_body(self, name: str, loop: Loop) -> str:
+        """Emit the loop as a standalone chunk worker over [_lo, _hi]."""
+        saved_buf, saved_indent = self.buf, self.indent
+        self.buf, self.indent = io.StringIO(), 0
+        var = f"t{loop.level}"
+        self.line(f"def {name}(_bufs, _params, _lo, _hi):")
+        self.indent += 1
+        self.emit_prologue()
+        self.line(f"for {var} in range(_lo, _hi + 1):"
+                  f"  # parallel chunk ({loop.var})")
+        self.indent += 1
+        self._depth += 1
+        self.emit_block(loop.body)
+        self._depth -= 1
+        self.indent -= 2
+        src = self.buf.getvalue()
+        self.buf, self.indent = saved_buf, saved_indent
+        return src
 
     # -- vectorization ----------------------------------------------------------
 

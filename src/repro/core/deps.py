@@ -301,13 +301,24 @@ def check_schedule_legality(fn) -> int:
     return len(deps)
 
 
-def carried_at_level(fn, comp, level: int) -> List[Dependence]:
+def carried_at_level(fn, comp, level: int,
+                     deps: Optional[List[Dependence]] = None,
+                     beta=None, depth: Optional[int] = None
+                     ) -> List[Dependence]:
     """Dependences carried by loop ``level`` of ``comp`` (same values of
     all outer dims, different at ``level``).  A loop can be parallelized,
-    vectorized or distributed only if this is empty (paper Table II)."""
-    deps = compute_dependences(fn)
-    beta = fn.resolve_order()
-    depth = fn.max_depth()
+    vectorized or distributed only if this is empty (paper Table II).
+
+    ``deps``/``beta``/``depth`` may be passed precomputed so callers
+    checking many (computation, level) pairs — the race detector — run
+    the dependence analysis once.
+    """
+    if deps is None:
+        deps = compute_dependences(fn)
+    if beta is None:
+        beta = fn.resolve_order()
+    if depth is None:
+        depth = fn.max_depth()
     carried: List[Dependence] = []
     for dep in deps:
         if dep.source is not comp and dep.sink is not comp:
@@ -334,3 +345,49 @@ def carried_at_level(fn, comp, level: int) -> List[Dependence]:
         if found:
             carried.append(dep)
     return carried
+
+
+#: Tag kinds whose loops execute iterations concurrently and therefore
+#: must not carry a dependence (paper Table II).
+RACE_CHECKED_TAGS = ("parallel", "vector", "distributed")
+
+
+def check_parallel_legality(fn, kinds: Sequence[str] = RACE_CHECKED_TAGS
+                            ) -> int:
+    """The race detector: verify no dependence is carried at any loop
+    level tagged ``parallel``/``vector``/``distributed``.
+
+    Running iterations of such a loop concurrently reorders the
+    statement instances along that dimension, so a dependence carried
+    there is a data race on real hardware (Section V / Table II: "a loop
+    can be parallelized only if it does not carry any dependence").
+    Raises :class:`IllegalScheduleError` naming the computation, the
+    loop level, and the violating dependence; returns the number of
+    tagged levels checked.  Built on :func:`carried_at_level` with the
+    dependence analysis shared across all tagged levels.
+    """
+    tagged = []
+    for comp in fn.active_computations():
+        if isinstance(comp, Operation):
+            continue
+        for level, tag in sorted(comp.tags.items()):
+            if tag.kind in kinds and level < len(comp.time_names):
+                tagged.append((comp, level, tag))
+    if not tagged:
+        return 0
+    deps = compute_dependences(fn)
+    beta = fn.resolve_order()
+    depth = fn.max_depth()
+    for comp, level, tag in tagged:
+        carried = carried_at_level(fn, comp, level, deps=deps, beta=beta,
+                                   depth=depth)
+        if carried:
+            dep = carried[0]
+            raise IllegalScheduleError(
+                f"cannot execute loop {comp.time_names[level]!r} "
+                f"(level {level}) of {comp.name!r} as {tag.kind}: it "
+                f"carries a {dep.kind} dependence "
+                f"{dep.source.name} -> {dep.sink.name} on buffer "
+                f"{dep.buffer.name} (a data race on concurrent "
+                f"iterations)")
+    return len(tagged)

@@ -23,11 +23,22 @@ BASE_OPTIONS: Dict[str, object] = {
     "check_legality": False,
     "verbose": False,
     "cache": True,
+    # Multicore execution of parallel-tagged loops (cpu backend; the
+    # others accept-and-record the same surface so option sets stay
+    # uniform).  num_threads=None means "all cores".
+    "parallel": True,
+    "num_threads": None,
+    # Race detector: None = auto (check parallel tags whenever this
+    # compile would offload onto >= 2 workers), True = always check
+    # every parallel/vector/distributed tag, False = skip.
+    "check_races": None,
 }
 
-#: The stages a full (cold) compile runs, in order.
+#: The stages a full (cold) compile runs, in order ("legality" and
+#: "race-check" only when their options enable them).
 STAGE_ORDER = ("ensure-params", "fingerprint", "legality",
-               "beta-resolution", "time-space", "ast", "emit", "bind")
+               "beta-resolution", "time-space", "ast", "race-check",
+               "emit", "bind")
 
 
 class CompilePipeline:
@@ -54,6 +65,11 @@ class CompilePipeline:
                     f"{', '.join(sorted(allowed))}")
         merged = dict(allowed)
         merged.update(opts)
+        nt = merged.get("num_threads")
+        if nt is not None and (not isinstance(nt, int)
+                               or isinstance(nt, bool) or nt < 1):
+            raise TypeError(
+                f"num_threads must be a positive int or None, got {nt!r}")
         return merged
 
     # -- stages -----------------------------------------------------------
@@ -62,7 +78,7 @@ class CompilePipeline:
         """Materialize everything the fingerprint must see: argument
         kinds, auto-created buffers, parameters pulled from bounds.
         Idempotent, so repeated compiles fingerprint identically."""
-        from repro.backends.cpu import infer_argument_kinds
+        from repro.backends.common import infer_argument_kinds
         infer_argument_kinds(ctx.fn)
 
     def _cache_lookup(self, ctx: CompileContext):
@@ -90,6 +106,36 @@ class CompilePipeline:
         content."""
         return {k: v for k, v in options.items()
                 if k not in ("verbose", "cache")}
+
+    def _race_check_kinds(self, ctx: CompileContext):
+        """Which tag kinds the race detector verifies for this compile,
+        or None to skip the stage.
+
+        ``check_races=True`` is strict — every parallel/vector/
+        distributed tag, on any backend.  The default (None, "auto")
+        guards exactly the compiles that will run loop iterations
+        concurrently: a parallel-execution backend, parallelism not
+        disabled, and >= 2 resolved workers.  Vector tags are exempt in
+        auto mode because the Python emitter already falls back to
+        scalar code when lanes carry a dependence."""
+        opt = ctx.options.get("check_races")
+        if opt is False:
+            return None
+        if opt:
+            from repro.core.deps import RACE_CHECKED_TAGS
+            return RACE_CHECKED_TAGS
+        if not ctx.options.get("parallel", True):
+            return None
+        if not getattr(self.backend, "parallel_execution", False):
+            return None
+        from repro.backends.parallel import resolve_num_threads
+        if resolve_num_threads(ctx.options.get("num_threads")) < 2:
+            return None
+        has_parallel = any(
+            tag.kind == "parallel"
+            for comp in ctx.fn.active_computations()
+            for tag in getattr(comp, "tags", {}).values())
+        return ("parallel",) if has_parallel else None
 
     # -- driver -----------------------------------------------------------
 
@@ -132,6 +178,13 @@ class CompilePipeline:
         with report.timed("ast"):
             ctx.ast = build_ast(ctx.items)
 
+        race_kinds = self._race_check_kinds(ctx)
+        if race_kinds is not None:
+            from repro.core.deps import check_parallel_legality
+            with report.timed("race-check"):
+                report.races_checked = check_parallel_legality(
+                    fn, kinds=race_kinds)
+
         with report.timed("emit"):
             ctx.source = self.backend.emit(ctx)
         report.source_size = len(ctx.source)
@@ -151,6 +204,10 @@ class CompilePipeline:
 
     def _finish(self, ctx: CompileContext, kernel):
         ctx.report.cache_stats = self.cache.stats()
+        ctx.report.parallel_regions = getattr(kernel, "parallel_regions", 0)
+        runtime = getattr(kernel, "runtime", None)
+        if runtime is not None:
+            ctx.report.parallel_workers = runtime.num_threads
         kernel.report = ctx.report
         emit_trace(ctx.report)
         return kernel

@@ -56,6 +56,9 @@ class CompileReport:
     stages: List[StageTiming] = field(default_factory=list)
     source_size: int = 0
     deps_checked: Optional[int] = None
+    races_checked: Optional[int] = None
+    parallel_regions: int = 0
+    parallel_workers: Optional[int] = None
     cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -94,6 +97,13 @@ class CompileReport:
         if self.deps_checked is not None:
             lines.append(f"  legality: {self.deps_checked} dependences "
                          "checked")
+        if self.races_checked is not None:
+            lines.append(f"  race-check: {self.races_checked} tagged "
+                         "levels race-free")
+        if self.parallel_regions:
+            workers = self.parallel_workers or 1
+            lines.append(f"  parallel: {self.parallel_regions} region(s) "
+                         f"x {workers} worker(s)")
         if self.cache_stats:
             cs = self.cache_stats
             lines.append(

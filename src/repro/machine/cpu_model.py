@@ -82,10 +82,14 @@ def _flops_in(expr: Expr) -> float:
 class CpuCostModel:
     def __init__(self, fn, params: Dict[str, int],
                  machine: CpuMachine = DEFAULT_CPU,
-                 packed_buffers: Sequence[str] = ()):
+                 packed_buffers: Sequence[str] = (),
+                 num_threads: Optional[int] = None):
         self.fn = fn
         self.params = dict(params)
         self.m = machine
+        # Worker cap mirroring the compile option: modeled parallel
+        # loops scale to min(cores, num_threads).
+        self.num_threads = num_threads
         # Buffers the schedule declares as packed (array packing gives
         # them unit-stride behaviour regardless of the access pattern).
         self.packed = set(packed_buffers)
@@ -176,7 +180,9 @@ class CpuCostModel:
         if loop.tag is not None:
             kind = loop.tag.kind
             if kind == "parallel":
-                usable = min(self.m.cores, trip)
+                workers = self.m.cores if self.num_threads is None \
+                    else min(self.m.cores, self.num_threads)
+                usable = min(workers, trip)
                 cycles /= max(1.0, usable * self.m.parallel_efficiency)
             elif kind == "unroll":
                 # Unrolling reduces loop overhead and adds a little ILP.
