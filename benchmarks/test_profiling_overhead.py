@@ -1,0 +1,98 @@
+"""Observability overhead: profiling off must cost nothing.
+
+``profile=False`` (the default) is required to emit byte-identical
+source to a pre-observability build — the guarantee is structural, and
+this harness checks it both ways: the emitted artifacts are identical,
+and best-of-N wall clock of the two compiled kernels stays within 5%.
+A second smoke test exports one profiled, traced run and checks the
+Chrome-trace JSON holds compile-stage, loop-nest, parallel, and worker
+spans on one timeline.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from conftest import print_table
+from repro.kernels.linalg import build_sgemm
+from repro.obs import (CAT_COMPILE, CAT_LOOP, CAT_PARALLEL, CAT_WORKER,
+                       get_tracer, write_trace_file)
+
+PARAMS = {"N": 96, "M": 96, "K": 96}
+REPEATS = 7
+
+
+def _best_of(kernel, inputs, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        fresh = {k: np.copy(v) for k, v in inputs.items()}
+        t0 = time.perf_counter()
+        kernel(**fresh, **PARAMS)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestProfileOffOverhead:
+    def test_profile_false_artifacts_identical(self):
+        base = build_sgemm()
+        k_base = base.function.compile("cpu")
+        off = build_sgemm()
+        # cache=False so the source is emitted independently rather
+        # than served from the registry entry the baseline created
+        k_off = off.function.compile("cpu", profile=False, cache=False)
+        assert k_off.source == k_base.source
+        assert k_off.report.fingerprint == k_base.report.fingerprint
+
+    def test_profile_false_within_5_percent(self):
+        base = build_sgemm()
+        k_base = base.function.compile("cpu")
+        off = build_sgemm()
+        k_off = off.function.compile("cpu", profile=False, cache=False)
+        inputs = base.make_inputs(PARAMS, np.random.default_rng(0))
+        _best_of(k_base, inputs, repeats=2)   # warm both code paths
+        _best_of(k_off, inputs, repeats=2)
+        t_base = _best_of(k_base, inputs)
+        t_off = _best_of(k_off, inputs)
+        ratio = t_off / t_base
+        print_table("profiling overhead (off)", {
+            "baseline best (ms)": f"{t_base * 1e3:.3f}",
+            "profile=False best (ms)": f"{t_off * 1e3:.3f}",
+            "ratio": f"{ratio:.3f}",
+        })
+        assert ratio <= 1.05, (t_base, t_off)
+
+
+class TestTraceExportSmoke:
+    def test_trace_json_holds_all_span_kinds(self, tmp_path):
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.set_enabled(True)
+        try:
+            bundle = build_sgemm()
+            # parallelize only acc: scale's nest stays sequential, so
+            # the export shows loop-nest AND parallel/worker spans
+            bundle.computations["acc"].parallelize("i")
+            kernel = bundle.function.compile(
+                "cpu", profile=True, num_threads=2, cache=False)
+            inputs = bundle.make_inputs(PARAMS,
+                                        np.random.default_rng(0))
+            kernel(**{k: np.copy(v) for k, v in inputs.items()},
+                   **PARAMS)
+            dest = tmp_path / "trace.json"
+            assert write_trace_file(str(dest)) == str(dest)
+        finally:
+            tracer.set_enabled(None)
+            tracer.clear()
+        doc = json.loads(dest.read_text())
+        events = doc["traceEvents"]
+        cats = {e["cat"] for e in events}
+        assert {CAT_COMPILE, CAT_LOOP, CAT_PARALLEL, CAT_WORKER} <= cats
+        assert all(e["ph"] == "X" for e in events)
+        stage_names = {e["name"] for e in events
+                       if e["cat"] == CAT_COMPILE}
+        assert "compile:emit" in stage_names
+        print_table("trace export", {
+            "events": len(events),
+            "categories": ", ".join(sorted(cats)),
+        })

@@ -12,12 +12,14 @@ remain available for the paper-scale figures.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.codegen.pyemit import _PRELUDE, Emitter, _buf_var
+from repro.codegen.pyemit import (_PRELUDE, _PROFILE_PRELUDE, Emitter,
+                                  _buf_var, profile_counted_comps)
 from repro.core.buffer import ArgKind, Buffer
 from repro.core.errors import ExecutionError
 from repro.core.function import Function
@@ -41,6 +43,8 @@ class CompiledKernel:
         self.buffers = buffers
         self.param_names = list(param_names)
         self.runtime = None  # ParallelRuntime when multicore is active
+        self.profiled = False   # compiled with profile=True
+        self.last_run = None    # RunReport of the latest profiled call
 
     def argument_names(self) -> List[str]:
         return [b.name for b in self.buffers
@@ -75,30 +79,86 @@ class CompiledKernel:
         if kwargs:
             raise ExecutionError(f"unknown arguments: {sorted(kwargs)}")
         runtime = _runtime if _runtime is not None else self.runtime
+        collector = None
+        if self.profiled:
+            from repro.obs import RunCollector
+            collector = RunCollector()
+        call_args = (params, runtime) if collector is None \
+            else (params, runtime, collector)
+        par_before = self._parallel_marks(runtime)
+        start_ns = time.perf_counter_ns()
         if runtime is not None and getattr(runtime, "sharing", None) \
                 and runtime.enabled():
             with runtime.sharing(arrays) as shared:
-                self._pyfunc(shared, params, runtime)
+                self._pyfunc(shared, *call_args)
         else:
-            self._pyfunc(arrays, params, runtime)
+            self._pyfunc(arrays, *call_args)
+        if collector is not None:
+            self._attach_run_report(
+                collector, time.perf_counter_ns() - start_ns,
+                runtime, par_before)
         return outputs
 
+    @staticmethod
+    def _parallel_marks(runtime):
+        if runtime is None:
+            return (0, 0)
+        return (runtime.stats.regions, runtime.stats.chunks)
 
-def emit_source(fn: Function, emitter_cls=Emitter, ast=None) -> str:
+    def _attach_run_report(self, collector, wall_ns, runtime,
+                           par_before) -> None:
+        """Build the RunReport for one finished profiled call and hand
+        its spans to the global tracer."""
+        from repro.obs import build_run_report, get_tracer
+        parallel = {}
+        if runtime is not None:
+            regions0, chunks0 = par_before
+            parallel = {
+                "regions": runtime.stats.regions - regions0,
+                "chunks": runtime.stats.chunks - chunks0,
+                "workers": runtime.num_threads,
+                "worker_pids": list(runtime.stats.worker_pids),
+            }
+        report = build_run_report(
+            function=self.fn.name,
+            target=getattr(getattr(self, "report", None), "target", "cpu"),
+            wall_ns=wall_ns, collector=collector,
+            comp_names=[name for name, __ in
+                        profile_counted_comps(self.fn)],
+            parallel=parallel)
+        self.last_run = report
+        tracer = get_tracer()
+        if tracer.enabled():
+            tracer.record_run(report)
+
+
+def emit_source(fn: Function, emitter_cls=Emitter, ast=None,
+                profile: bool = False) -> str:
     """Emit the Python/NumPy kernel source.  ``ast`` is the staged
     driver's pre-lowered AST; without it the function lowers itself.
-    Chunked parallel body functions (if any) precede ``_kernel``."""
+    Chunked parallel body functions (if any) precede ``_kernel``.
+    ``profile=True`` adds per-computation counters and loop-nest spans
+    reporting into an ``_obs`` collector (see repro.obs); off, the
+    source is byte-identical to an unprofiled build."""
     if ast is None:
         infer_argument_kinds(fn)
         ast = fn.lower()
-    emitter = emitter_cls(fn, fn.param_names)
-    emitter.line("def _kernel(_bufs, _params, _runtime=None):")
+    emitter = emitter_cls(fn, fn.param_names, profile=profile) \
+        if profile else emitter_cls(fn, fn.param_names)
+    if profile:
+        emitter.line("def _kernel(_bufs, _params, _runtime=None, "
+                     "_obs=None):")
+    else:
+        emitter.line("def _kernel(_bufs, _params, _runtime=None):")
     emitter.indent += 1
     emitter.emit_prologue()
     emitter.emit_block(ast)
+    if profile:
+        emitter.emit_profile_flush()
     emitter.indent -= 1
     bodies = "".join(body + "\n" for body in emitter.parallel_bodies)
-    return _PRELUDE + "\n" + bodies + emitter.buf.getvalue()
+    prelude = _PRELUDE + (_PROFILE_PRELUDE if profile else "")
+    return prelude + "\n" + bodies + emitter.buf.getvalue()
 
 
 def _bind_python_kernel(fn: Function, source: str, tag: str):
@@ -114,19 +174,22 @@ class CpuBackend(Backend):
     parallel_execution = True
 
     def emit(self, ctx) -> str:
-        return emit_source(ctx.fn, ast=ctx.ast)
+        return emit_source(ctx.fn, ast=ctx.ast,
+                           profile=bool(ctx.opt("profile")))
 
     def bind(self, ctx) -> CompiledKernel:
         pyfunc = _bind_python_kernel(ctx.fn, ctx.source, "tiramisu")
         kernel = CompiledKernel(ctx.fn, ctx.source, pyfunc,
                                 collect_buffers(ctx.fn),
                                 ctx.fn.param_names)
+        kernel.profiled = bool(ctx.opt("profile"))
         kernel.parallel_regions = ctx.source.count("\ndef _par_body_")
         if kernel.parallel_regions and ctx.opt("parallel", True):
             from .parallel import ParallelRuntime, resolve_num_threads
             workers = resolve_num_threads(ctx.opt("num_threads"))
             if workers >= 2:
-                kernel.runtime = ParallelRuntime(ctx.source, workers)
+                kernel.runtime = ParallelRuntime(
+                    ctx.source, workers, profiled=kernel.profiled)
         return kernel
 
 

@@ -31,6 +31,7 @@ import atexit
 import hashlib
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -83,8 +84,16 @@ def _load_namespace(digest: str, source: str) -> dict:
 
 
 def _exec_chunk(digest: str, source: str, body_name: str, specs,
-                params: Dict[str, int], lo: int, hi: int) -> int:
-    """Run one chunk of a parallel loop inside a worker process."""
+                params: Dict[str, int], lo: int, hi: int,
+                profiled: bool = False) -> tuple:
+    """Run one chunk of a parallel loop inside a worker process.
+
+    Returns ``(pid, start_ns, end_ns, obs_snapshot)`` — the wall clock
+    of the chunk body (for the parent's worker-imbalance metrics) and,
+    when ``profiled``, the worker collector's picklable counter
+    snapshot so per-computation iteration counts stay exact under
+    multicore execution."""
+    import time as _time
     ns = _load_namespace(digest, source)
     attached: List[shared_memory.SharedMemory] = []
     bufs: Dict[str, np.ndarray] = {}
@@ -94,8 +103,17 @@ def _exec_chunk(digest: str, source: str, body_name: str, specs,
             attached.append(shm)
             bufs[name] = np.ndarray(shape, dtype=np.dtype(dtype),
                                     buffer=shm.buf)
-        ns[body_name](bufs, params, lo, hi)
-        return os.getpid()
+        snapshot = None
+        start_ns = _time.perf_counter_ns()
+        if profiled:
+            from repro.obs import RunCollector
+            collector = RunCollector()
+            ns[body_name](bufs, params, lo, hi, collector)
+            snapshot = collector.snapshot()
+        else:
+            ns[body_name](bufs, params, lo, hi)
+        end_ns = _time.perf_counter_ns()
+        return os.getpid(), start_ns, end_ns, snapshot
     finally:
         bufs.clear()
         for shm in attached:
@@ -165,11 +183,12 @@ class ParallelRuntime:
     """
 
     def __init__(self, source: str, num_threads: int,
-                 min_chunk_iters: int = 1):
+                 min_chunk_iters: int = 1, profiled: bool = False):
         self.source = source
         self.digest = hashlib.sha256(source.encode()).hexdigest()
         self.num_threads = int(num_threads)
         self.min_chunk_iters = min_chunk_iters
+        self.profiled = bool(profiled)
         self.stats = ParallelStats()
         self._specs = None  # buffer name -> (shm name, shape, dtype str)
 
@@ -186,10 +205,13 @@ class ParallelRuntime:
     def sharing(self, arrays: Dict[str, np.ndarray]):
         """Stage ``arrays`` into shared memory; copy results back on
         normal exit and always release the segments."""
+        from repro.obs.metrics import metrics
         shms: List[Tuple[str, shared_memory.SharedMemory]] = []
         views: Dict[str, np.ndarray] = {}
         specs: Dict[str, Tuple[str, tuple, str]] = {}
         try:
+            copy_start = time.perf_counter()
+            bytes_in = 0
             for name, arr in arrays.items():
                 arr = np.ascontiguousarray(arr)
                 shm = shared_memory.SharedMemory(
@@ -199,12 +221,22 @@ class ParallelRuntime:
                 view[...] = arr
                 views[name] = view
                 specs[name] = (shm.name, arr.shape, arr.dtype.str)
+                bytes_in += arr.nbytes
+            metrics.histogram("parallel.shm_copy_seconds").observe(
+                time.perf_counter() - copy_start)
+            metrics.counter("parallel.shm_bytes_in").inc(bytes_in)
             self._specs = specs
             yield views
+            back_start = time.perf_counter()
+            bytes_out = 0
             for name, _ in shms:
                 dst = np.asarray(arrays[name])
                 if dst.flags.writeable:
                     np.copyto(dst, views[name])
+                    bytes_out += dst.nbytes
+            metrics.histogram("parallel.shm_copyback_seconds").observe(
+                time.perf_counter() - back_start)
+            metrics.counter("parallel.shm_bytes_out").inc(bytes_out)
         finally:
             self._specs = None
             views.clear()
@@ -218,9 +250,16 @@ class ParallelRuntime:
                 except FileNotFoundError:
                     pass
 
-    def run(self, body, params: Dict[str, int], lo: int, hi: int) -> None:
+    def run(self, body, params: Dict[str, int], lo: int, hi: int,
+            obs=None) -> None:
         """Execute one parallel loop: split [lo, hi] into chunks and
-        block until every worker finishes."""
+        block until every worker finishes.
+
+        Each chunk result carries the worker's wall clock (and, when
+        profiling, its counter snapshot); they are aggregated here, in
+        the parent, into the process-global metrics registry and the
+        per-call ``obs`` collector — workers never share state."""
+        from repro.obs.metrics import metrics
         pool = _get_pool(self.num_threads)
         if pool is None or self._specs is None:  # raced a pool teardown
             raise ExecutionError(
@@ -228,19 +267,37 @@ class ParallelRuntime:
         bounds = chunk_ranges(lo, hi, self.num_threads)
         futures = [
             pool.submit(_exec_chunk, self.digest, self.source,
-                        body.__name__, self._specs, params, clo, chi)
+                        body.__name__, self._specs, params, clo, chi,
+                        self.profiled)
             for clo, chi in bounds]
         self.stats.regions += 1
         self.stats.chunks += len(bounds)
         self.stats.max_workers = max(self.stats.max_workers, len(bounds))
         pids = set(self.stats.worker_pids)
         errors: List[BaseException] = []
-        for fut in futures:
+        chunk_seconds: List[float] = []
+        for fut, (clo, chi) in zip(futures, bounds):
             try:
-                pids.add(fut.result())
+                pid, start_ns, end_ns, snapshot = fut.result()
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors.append(exc)
+                continue
+            pids.add(pid)
+            seconds = (end_ns - start_ns) / 1e9
+            chunk_seconds.append(seconds)
+            metrics.histogram("parallel.chunk_seconds").observe(seconds)
+            metrics.histogram("parallel.chunk_iters").observe(
+                chi - clo + 1)
+            if obs is not None:
+                obs.merge(snapshot)
+                obs.worker_span(body.__name__, clo, chi, start_ns,
+                                end_ns, pid)
         self.stats.worker_pids = tuple(sorted(pids))
+        metrics.counter("parallel.regions").inc()
+        metrics.counter("parallel.chunks").inc(len(bounds))
+        if chunk_seconds and min(chunk_seconds) > 0:
+            metrics.gauge("parallel.last_imbalance").set(
+                max(chunk_seconds) / min(chunk_seconds))
         if errors:
             raise ExecutionError(
                 f"parallel region {body.__name__} failed in a worker: "

@@ -46,6 +46,25 @@ def _cdiv(a, b):
     return -((-a) // b)
 '''
 
+#: Extra prelude for ``profile=True`` source only — the default path
+#: never sees it (emitted code stays byte-identical with profiling off).
+_PROFILE_PRELUDE = '''\
+from time import perf_counter_ns as _now_ns
+'''
+
+
+def profile_counted_comps(fn) -> List[Tuple[str, int]]:
+    """``(name, bytes-per-store)`` for every computation a profiled
+    kernel counts: active, code-generating value computations
+    (operations and inlined computations execute no countable store)."""
+    from repro.core.computation import Input, Operation
+    out: List[Tuple[str, int]] = []
+    for comp in fn.active_computations():
+        if isinstance(comp, (Input, Operation)) or comp.expr is None:
+            continue
+        out.append((comp.name, comp.dtype.bits // 8))
+    return out
+
 
 def lin_to_py(le: LinExpr, params: Sequence[str]) -> str:
     """A LinExpr over time dims/params as a Python expression string."""
@@ -102,7 +121,7 @@ class Emitter:
     """Emits one function body; reused by the CPU/GPU/distributed
     backends with different prologues."""
 
-    def __init__(self, fn, params: Sequence[str]):
+    def __init__(self, fn, params: Sequence[str], profile: bool = False):
         self.fn = fn
         self.params = list(params)
         self.buf = io.StringIO()
@@ -113,6 +132,15 @@ class Emitter:
         self._par_count = 0
         self.parallel_bodies: List[str] = []  # chunked worker functions
         self._fn_offload_ok: Optional[bool] = None
+        # profile=True wraps loop nests with counters/spans reporting
+        # into an ``_obs`` collector; off, emission is byte-identical
+        # to a profiling-unaware emitter.
+        self.profile = bool(profile)
+        self._counters: Dict[str, Tuple[str, int]] = {}
+        if self.profile:
+            for idx, (name, nbytes) in enumerate(
+                    profile_counted_comps(fn)):
+                self._counters[name] = (f"_ct{idx}", nbytes)
 
     # -- low-level writing --------------------------------------------------
 
@@ -134,6 +162,17 @@ class Emitter:
             self.line(f"{p} = _params[{p!r}]")
         for buffer in collect_buffers(self.fn):
             self.line(f"{_buf_var(buffer)} = _bufs[{buffer.name!r}]")
+        if self.profile:
+            for var, __ in self._counters.values():
+                self.line(f"{var} = 0")
+
+    def emit_profile_flush(self) -> None:
+        """Report the accumulated iteration counters into ``_obs``;
+        emitted at the end of ``_kernel`` and of every chunked parallel
+        body (profile mode only)."""
+        for name, (var, nbytes) in self._counters.items():
+            self.line(f"if {var}: _obs.count({name!r}, {var}, "
+                      f"{var} * {nbytes})")
 
     # -- expression lowering -------------------------------------------------
 
@@ -245,14 +284,29 @@ class Emitter:
     def emit_loop(self, loop: Loop) -> None:
         lo = bounds_group_py(loop.lowers, self.params, True)
         hi = bounds_group_py(loop.uppers, self.params, False)
+        if self.profile and self._depth == 0:
+            # Profile mode: wall-clock span around every top-level nest
+            # (inner loops stay uninstrumented — counters there are per
+            # statement, so the hot path adds one integer add).
+            sp = self.fresh("_sp")
+            self.line(f"{sp} = _now_ns()")
+            cat = self._emit_loop_inner(loop, lo, hi)
+            self.line(f"_obs.span({loop.var!r}, {loop.comps!r}, {sp}, "
+                      f"_now_ns(), {cat!r})")
+        else:
+            self._emit_loop_inner(loop, lo, hi)
+
+    def _emit_loop_inner(self, loop: Loop, lo: str, hi: str) -> str:
+        """Emit one loop (vector / parallel-dispatch / sequential form);
+        returns the span category for profile mode."""
         var = f"t{loop.level}"
         if loop.tag is not None and loop.tag.kind == "vector":
             if self._try_emit_vector(loop, lo, hi):
-                return
+                return "loop-nest"
         if loop.tag is not None and loop.tag.kind == "parallel" \
                 and self._depth == 0 and self._offload_safe(loop):
             self._emit_parallel_dispatch(loop, lo, hi)
-            return
+            return "parallel"
         comment = ""
         if loop.tag is not None:
             comment = f"  # {loop.tag.kind} loop ({loop.var})"
@@ -262,6 +316,7 @@ class Emitter:
         self.emit_block(loop.body)
         self._depth -= 1
         self.indent -= 1
+        return "loop-nest"
 
     # -- parallel offload ---------------------------------------------------
 
@@ -298,15 +353,16 @@ class Emitter:
         hi_v = self.fresh("_phi")
         self.line(f"{lo_v} = {lo}")
         self.line(f"{hi_v} = {hi}")
+        obs_arg = ", _obs" if self.profile else ""
         self.line(f"if getattr(_runtime, 'offload', None) is not None "
                   f"and _runtime.offload({hi_v} - {lo_v} + 1):")
         self.indent += 1
-        self.line(f"_runtime.run({name}, _params, {lo_v}, {hi_v})"
+        self.line(f"_runtime.run({name}, _params, {lo_v}, {hi_v}{obs_arg})"
                   f"  # parallel loop ({loop.var})")
         self.indent -= 1
         self.line("else:")
         self.indent += 1
-        self.line(f"{name}(_bufs, _params, {lo_v}, {hi_v})")
+        self.line(f"{name}(_bufs, _params, {lo_v}, {hi_v}{obs_arg})")
         self.indent -= 1
 
     def _render_parallel_body(self, name: str, loop: Loop) -> str:
@@ -314,7 +370,8 @@ class Emitter:
         saved_buf, saved_indent = self.buf, self.indent
         self.buf, self.indent = io.StringIO(), 0
         var = f"t{loop.level}"
-        self.line(f"def {name}(_bufs, _params, _lo, _hi):")
+        obs_param = ", _obs=None" if self.profile else ""
+        self.line(f"def {name}(_bufs, _params, _lo, _hi{obs_param}):")
         self.indent += 1
         self.emit_prologue()
         self.line(f"for {var} in range(_lo, _hi + 1):"
@@ -323,7 +380,10 @@ class Emitter:
         self._depth += 1
         self.emit_block(loop.body)
         self._depth -= 1
-        self.indent -= 2
+        self.indent -= 1
+        if self.profile:
+            self.emit_profile_flush()
+        self.indent -= 1
         src = self.buf.getvalue()
         self.buf, self.indent = saved_buf, saved_indent
         return src
@@ -366,6 +426,9 @@ class Emitter:
                   f"({loop.var})")
         target = self._store_target(comp, subst_env)
         self.line(f"{target} = {rhs}")
+        if self.profile and comp.name in self._counters:
+            # One statement instance per vector lane.
+            self.line(f"{self._counters[comp.name][0]} += {var}.size")
         return True
 
     def _reads_safe(self, comp, env: Dict[str, str],
@@ -412,6 +475,8 @@ class Emitter:
             rhs = self.expr_py(fold(comp.expr), env, comp.dtype.is_float)
             target = self._store_target(comp, env)
             self.line(f"{target} = {rhs}")
+            if self.profile and comp.name in self._counters:
+                self.line(f"{self._counters[comp.name][0]} += 1")
         self.indent -= closes
 
     def _store_target(self, comp, env: Dict[str, str]) -> str:

@@ -18,7 +18,7 @@ from .pipeline import BASE_OPTIONS, CompilePipeline, compile_function
 from .registry import (Backend, UnknownTargetError, get_backend,
                        register_backend, registered_targets)
 from .trace import (CompileReport, StageTiming, emit_trace, set_trace,
-                    trace_enabled)
+                    trace_enabled, traced)
 
 __all__ = [
     "BASE_OPTIONS",
@@ -39,4 +39,5 @@ __all__ = [
     "registered_targets",
     "set_trace",
     "trace_enabled",
+    "traced",
 ]

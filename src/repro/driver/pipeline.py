@@ -32,6 +32,11 @@ BASE_OPTIONS: Dict[str, object] = {
     # compile would offload onto >= 2 workers), True = always check
     # every parallel/vector/distributed tag, False = skip.
     "check_races": None,
+    # Runtime profiling: emit per-computation counters and loop-nest
+    # spans into ``kernel.last_run`` (see repro.obs).  Changes the
+    # emitted source, so it is part of the cache key; the default
+    # (False) path is byte-identical to an unprofiled build.
+    "profile": False,
 }
 
 #: The stages a full (cold) compile runs, in order ("legality" and
@@ -70,6 +75,10 @@ class CompilePipeline:
                                or isinstance(nt, bool) or nt < 1):
             raise TypeError(
                 f"num_threads must be a positive int or None, got {nt!r}")
+        prof = merged.get("profile")
+        if not isinstance(prof, bool):
+            raise TypeError(
+                f"profile must be True or False, got {prof!r}")
         return merged
 
     # -- stages -----------------------------------------------------------
@@ -203,13 +212,19 @@ class CompilePipeline:
         return self._finish(ctx, ctx.kernel)
 
     def _finish(self, ctx: CompileContext, kernel):
-        ctx.report.cache_stats = self.cache.stats()
+        # Point-in-time copy: later compiles must not mutate the stats
+        # an already-issued report carries.
+        ctx.report.cache_stats = dict(self.cache.stats())
         ctx.report.parallel_regions = getattr(kernel, "parallel_regions", 0)
         runtime = getattr(kernel, "runtime", None)
         if runtime is not None:
             ctx.report.parallel_workers = runtime.num_threads
         kernel.report = ctx.report
         emit_trace(ctx.report)
+        from repro.obs.tracer import get_tracer
+        tracer = get_tracer()
+        if tracer.enabled():
+            tracer.record_compile(ctx.report)
         return kernel
 
 

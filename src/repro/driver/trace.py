@@ -37,12 +37,31 @@ def trace_enabled() -> bool:
                                                          "off")
 
 
+@contextmanager
+def traced(enabled: Optional[bool] = True):
+    """Force tracing on (or off) for a ``with`` block, then restore the
+    previous forced state — tests and harness runs cannot leak trace
+    state into each other."""
+    global _forced
+    saved = _forced
+    _forced = enabled
+    try:
+        yield
+    finally:
+        _forced = saved
+
+
 @dataclass
 class StageTiming:
-    """Wall time of one named pipeline stage."""
+    """Wall time of one named pipeline stage.
+
+    ``start`` is the ``time.perf_counter()`` value at stage entry, which
+    places the stage on the observability tracer's timeline
+    (:meth:`repro.obs.tracer.Tracer.record_compile`)."""
 
     name: str
     seconds: float
+    start: float = 0.0
 
 
 @dataclass
@@ -82,16 +101,39 @@ class CompileReport:
             yield
         finally:
             self.stages.append(
-                StageTiming(name, time.perf_counter() - start))
+                StageTiming(name, time.perf_counter() - start, start))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (consumed by the trace exporter and
+        harness dumps)."""
+        return {
+            "function": self.function,
+            "target": self.target,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "stages": [{"name": s.name, "seconds": s.seconds,
+                        "start": s.start} for s in self.stages],
+            "total_seconds": self.total_seconds,
+            "source_size": self.source_size,
+            "deps_checked": self.deps_checked,
+            "races_checked": self.races_checked,
+            "parallel_regions": self.parallel_regions,
+            "parallel_workers": self.parallel_workers,
+            "cache_stats": dict(self.cache_stats),
+        }
 
     def format_table(self) -> str:
         verdict = "hit" if self.cache_hit else "miss"
         lines = [f"== tiramisu compile: {self.function} -> {self.target} "
                  f"[cache {verdict}] =="]
-        lines.append(f"  {'stage':<16} {'ms':>10}")
+        # Size the stage column to the longest name so long stage names
+        # (e.g. race-check descendants) keep the ms column aligned.
+        width = max([16] + [len(s.name) for s in self.stages])
+        lines.append(f"  {'stage':<{width}} {'ms':>10}")
         for s in self.stages:
-            lines.append(f"  {s.name:<16} {s.seconds * 1e3:>10.3f}")
-        lines.append(f"  {'total':<16} {self.total_seconds * 1e3:>10.3f}")
+            lines.append(f"  {s.name:<{width}} {s.seconds * 1e3:>10.3f}")
+        lines.append(
+            f"  {'total':<{width}} {self.total_seconds * 1e3:>10.3f}")
         if self.source_size:
             lines.append(f"  source: {self.source_size} bytes")
         if self.deps_checked is not None:

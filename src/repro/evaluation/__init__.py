@@ -1,0 +1,11 @@
+"""Evaluation harness: figure regeneration and model calibration."""
+
+from .calibration import (CalibrationRow, calibrate_kernel,
+                          calibration_table, render_calibration)
+
+__all__ = [
+    "CalibrationRow",
+    "calibrate_kernel",
+    "calibration_table",
+    "render_calibration",
+]

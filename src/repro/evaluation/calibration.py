@@ -1,0 +1,140 @@
+"""Model-vs-measured calibration for the Fig. 5 CPU kernels.
+
+The paper's evaluation figures are regenerated through the analytical
+:class:`~repro.machine.cpu_model.CpuCostModel`; the observability layer
+(``profile=True`` compiles, see docs/observability.md) measures what the
+generated kernels actually do.  This module runs both on the same
+scheduled function and builds a per-computation comparison table:
+
+* **exactness** — measured statement-instance counts against the
+  polyhedral domain cardinality (they must match exactly; a mismatch is
+  a codegen bug, and the tier-1 suite asserts it never happens);
+* **calibration** — the model's per-computation *share* of total time
+  against the measured share, the number the autoscheduler's ranking
+  actually depends on (absolute modeled times are not meaningful, see
+  DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.isl.enumerate_ import count as domain_count
+from repro.machine import CpuCostModel
+
+
+@dataclass
+class CalibrationRow:
+    """One computation of one benchmark, model next to measurement."""
+
+    benchmark: str
+    computation: str
+    measured_iterations: int
+    domain_points: int
+    measured_seconds: float
+    modeled_seconds: float
+    measured_share: float       # fraction of the kernel's measured time
+    modeled_share: float        # fraction of the kernel's modeled time
+
+    @property
+    def iterations_exact(self) -> bool:
+        return self.measured_iterations == self.domain_points
+
+    @property
+    def share_error(self) -> float:
+        """Absolute difference of time shares (0 = perfectly
+        calibrated attribution)."""
+        return abs(self.measured_share - self.modeled_share)
+
+
+def calibrate_kernel(builder: Callable, schedule: Optional[Callable] = None,
+                     params: Optional[Dict[str, int]] = None,
+                     seed: int = 0) -> List[CalibrationRow]:
+    """Profile one kernel bundle and line it up against the cost model.
+
+    Compiles with ``profile=True`` (single-threaded, so nest spans are
+    clean wall time), runs on generated inputs, and joins the
+    :class:`~repro.obs.RunReport` with the model's
+    ``per_computation_seconds``.
+    """
+    bundle = builder()
+    if schedule is not None:
+        schedule(bundle)
+    run_params = dict(params or bundle.test_params)
+    rng = np.random.default_rng(seed)
+    inputs = bundle.make_inputs(run_params, rng)
+
+    kernel = bundle.function.compile("cpu", profile=True, num_threads=1)
+    kernel(**{k: np.copy(v) for k, v in inputs.items()}, **run_params)
+    run = kernel.last_run
+
+    model = CpuCostModel(bundle.function, run_params,
+                         packed_buffers=list(bundle.packed_buffers)
+                         ).estimate()
+
+    measured_total = sum(r.wall_ns for r in run.computations.values())
+    modeled_total = sum(model.per_computation_seconds.values())
+    rows: List[CalibrationRow] = []
+    for name in sorted(run.computations):
+        rec = run.computations[name]
+        comp = bundle.function.find(name)
+        modeled_s = model.per_computation_seconds.get(name, 0.0)
+        rows.append(CalibrationRow(
+            benchmark=bundle.name,
+            computation=name,
+            measured_iterations=rec.iterations,
+            domain_points=domain_count(comp.domain, run_params),
+            measured_seconds=rec.wall_ns / 1e9,
+            modeled_seconds=modeled_s,
+            measured_share=(rec.wall_ns / measured_total
+                            if measured_total else 0.0),
+            modeled_share=(modeled_s / modeled_total
+                           if modeled_total else 0.0)))
+    return rows
+
+
+def _fig5_calibration_kernels():
+    """(builder, schedule) pairs for the Fig. 5 CPU kernels that run at
+    test scale: sgemm, conv, and the HPCG SpMV stencil."""
+    from repro.kernels.dnn import build_conv, schedule_conv_cpu
+    from repro.kernels.hpcg import build_spmv27, schedule_spmv_cpu
+    from repro.kernels.linalg import build_sgemm, schedule_sgemm_cpu
+
+    def sched_sgemm(bundle):
+        # Test-scale tile sizes (the paper-tuned 64x64 tiles degenerate
+        # on the 23x17 test problem).
+        schedule_sgemm_cpu(bundle, 8, 4)
+
+    return [(build_sgemm, sched_sgemm),
+            (build_conv, schedule_conv_cpu),
+            (build_spmv27, schedule_spmv_cpu)]
+
+
+def calibration_table(params: Optional[Dict[str, int]] = None
+                      ) -> List[CalibrationRow]:
+    """The model-vs-measured table over the Fig. 5 kernels (test-scale
+    parameters unless ``params`` overrides them)."""
+    rows: List[CalibrationRow] = []
+    for builder, schedule in _fig5_calibration_kernels():
+        rows.extend(calibrate_kernel(builder, schedule, params=params))
+    return rows
+
+
+def render_calibration(rows: List[CalibrationRow]) -> str:
+    """The harness's printable model-vs-measured table."""
+    lines = [f"{'benchmark':<10} {'computation':<14} {'iters':>9} "
+             f"{'domain':>9} {'exact':>6} {'meas ms':>9} {'model ms':>9} "
+             f"{'meas %':>7} {'model %':>8}"]
+    for r in rows:
+        lines.append(
+            f"{r.benchmark:<10} {r.computation:<14} "
+            f"{r.measured_iterations:>9} {r.domain_points:>9} "
+            f"{'yes' if r.iterations_exact else 'NO':>6} "
+            f"{r.measured_seconds * 1e3:>9.3f} "
+            f"{r.modeled_seconds * 1e3:>9.3f} "
+            f"{r.measured_share * 100:>6.1f}% "
+            f"{r.modeled_share * 100:>7.1f}%")
+    return "\n".join(lines)

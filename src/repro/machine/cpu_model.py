@@ -42,6 +42,11 @@ class CostReport:
     dram_bytes: float = 0.0    # traffic actually reaching DRAM
     cycles: float = 0.0
     per_computation: Dict[str, float] = field(default_factory=dict)
+    # per_computation scaled to seconds, normalized so the shares sum
+    # to ``seconds`` even when the bandwidth floor dominates.  This is
+    # the modeled side of the observability layer's model-vs-measured
+    # calibration (repro.evaluation.calibration).
+    per_computation_seconds: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "CostReport") -> None:
         self.seconds += other.seconds
@@ -107,6 +112,12 @@ class CpuCostModel:
         # machine's bandwidth, regardless of cores/vectors.
         bw_s = report.dram_bytes / (self.m.mem_bandwidth_gbs * 1e9)
         report.seconds = max(compute_s, bw_s)
+        pc_total = sum(report.per_computation.values())
+        if pc_total > 0:
+            scale = report.seconds / pc_total
+            report.per_computation_seconds = {
+                name: c * scale
+                for name, c in report.per_computation.items()}
         return report
 
     # -- helpers ---------------------------------------------------------------

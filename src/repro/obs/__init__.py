@@ -1,0 +1,44 @@
+"""Runtime observability: per-computation profiles, span tracing,
+worker metrics.
+
+Three cooperating pieces (see docs/observability.md):
+
+* :mod:`repro.obs.runreport` — ``profile=True`` kernels attach a
+  :class:`RunReport` (iterations / wall ns / bytes written per
+  computation) to ``kernel.last_run`` after every call;
+* :mod:`repro.obs.tracer` — a span timeline joining compile stages,
+  runtime loop nests and parallel-worker chunks, exported as
+  Chrome-trace/Perfetto JSON via ``TIRAMISU_TRACE_FILE=out.json``;
+* :mod:`repro.obs.metrics` — a process-safe counters/gauges/histograms
+  registry the parallel worker pool feeds (chunk timings and sizes,
+  shared-memory staging costs), aggregated in the parent.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, metrics)
+from .runreport import (CompRecord, RunCollector, RunReport,
+                        build_run_report)
+from .tracer import (CAT_COMPILE, CAT_LOOP, CAT_PARALLEL, CAT_WORKER,
+                     Span, TRACE_FILE_ENV, Tracer, get_tracer,
+                     trace_file_path, write_trace_file)
+
+__all__ = [
+    "CAT_COMPILE",
+    "CAT_LOOP",
+    "CAT_PARALLEL",
+    "CAT_WORKER",
+    "CompRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunCollector",
+    "RunReport",
+    "Span",
+    "TRACE_FILE_ENV",
+    "Tracer",
+    "build_run_report",
+    "get_tracer",
+    "metrics",
+    "trace_file_path",
+    "write_trace_file",
+]

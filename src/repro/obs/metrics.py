@@ -1,0 +1,130 @@
+"""A process-safe metrics registry: counters, gauges, histograms.
+
+The registry lives in the parent (compiling) process and is guarded by
+one lock, so any thread may record.  Worker processes never touch it
+directly — measurements taken inside a worker (chunk wall time, chunk
+sizes) ride back to the parent with the chunk result and are recorded
+there (see :meth:`repro.backends.parallel.ParallelRuntime.run`), which
+is what makes the registry safe under the process pool without shared
+state.
+
+The parallel backend feeds, per dispatched region: a chunk-seconds and
+chunk-iterations histogram (worker imbalance = the max/min spread), and
+shared-memory staging costs (copy-in / copy-back seconds and bytes).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-written value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observations (count/total/min/max/mean)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def spread(self) -> float:
+        """max/min ratio — the worker-imbalance number (1.0 = balanced)."""
+        if not self.count or self.min <= 0:
+            return 1.0
+        return self.max / self.min
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Named metrics behind one lock; create-on-first-use accessors."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time copy of every metric as plain values."""
+        with self._lock:
+            out: Dict[str, object] = {}
+            for name, c in self._counters.items():
+                out[name] = c.value
+            for name, g in self._gauges.items():
+                out[name] = g.value
+            for name, h in self._histograms.items():
+                out[name] = h.summary()
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-global registry the parallel backend feeds.
+metrics = MetricsRegistry()

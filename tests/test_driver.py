@@ -10,7 +10,8 @@ from repro.core.errors import TiramisuError
 from repro.driver import (Backend, CompileReport, UnknownTargetError,
                           compile_function, emit_trace, get_backend,
                           kernel_registry, register_backend,
-                          registered_targets, set_trace, trace_enabled)
+                          registered_targets, set_trace, trace_enabled,
+                          traced)
 from repro.driver.pipeline import STAGE_ORDER
 from repro.driver.registry import _REGISTRY
 
@@ -172,39 +173,43 @@ class TestCompileReport:
 
 class TestTrace:
     def test_env_toggle(self, monkeypatch):
-        set_trace(None)
-        monkeypatch.delenv("TIRAMISU_TRACE", raising=False)
-        assert not trace_enabled()
-        monkeypatch.setenv("TIRAMISU_TRACE", "1")
-        assert trace_enabled()
-        monkeypatch.setenv("TIRAMISU_TRACE", "0")
-        assert not trace_enabled()
+        with traced(None):
+            monkeypatch.delenv("TIRAMISU_TRACE", raising=False)
+            assert not trace_enabled()
+            monkeypatch.setenv("TIRAMISU_TRACE", "1")
+            assert trace_enabled()
+            monkeypatch.setenv("TIRAMISU_TRACE", "0")
+            assert not trace_enabled()
 
     def test_forced_trace_overrides_env(self, monkeypatch):
         monkeypatch.setenv("TIRAMISU_TRACE", "0")
-        set_trace(True)
-        try:
+        with traced():
             assert trace_enabled()
-        finally:
-            set_trace(None)
 
     def test_emit_trace_prints_stage_table(self):
         report = CompileReport(function="f", target="cpu",
                                fingerprint="abc123")
-        set_trace(True)
-        try:
+        with traced():
             out = io.StringIO()
             emit_trace(report, stream=out)
             assert "f -> cpu" in out.getvalue()
-        finally:
-            set_trace(None)
 
     def test_trace_silent_when_disabled(self, monkeypatch):
-        set_trace(None)
-        monkeypatch.delenv("TIRAMISU_TRACE", raising=False)
-        out = io.StringIO()
-        emit_trace(CompileReport(function="f", target="cpu"), stream=out)
-        assert out.getvalue() == ""
+        with traced(None):
+            monkeypatch.delenv("TIRAMISU_TRACE", raising=False)
+            out = io.StringIO()
+            emit_trace(CompileReport(function="f", target="cpu"),
+                       stream=out)
+            assert out.getvalue() == ""
+
+    def test_traced_restores_previous_forced_state(self):
+        set_trace(False)
+        try:
+            with traced(True):
+                assert trace_enabled()
+            assert not trace_enabled()   # restored to forced-off
+        finally:
+            set_trace(None)
 
 
 class TestCompileFunctionEntry:
