@@ -11,11 +11,38 @@ backwards compatibility.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional
 
 from repro.core.buffer import ArgKind, Buffer
 from repro.core.computation import Input, Operation
 from repro.core.function import Function
+
+#: Environment override for every runtime timeout (seconds) — lets CI
+#: tighten or loosen deadlines without touching compile options.
+TIMEOUT_ENV = "TIRAMISU_TIMEOUT"
+
+#: Per-use defaults when neither the ``timeout`` option nor the env
+#: var is set: a blocking receive and the whole-run thread join.
+DEFAULT_RECV_TIMEOUT = 30.0
+DEFAULT_JOIN_TIMEOUT = 120.0
+
+
+def resolve_timeout(value: Optional[float] = None,
+                    default: Optional[float] = None) -> Optional[float]:
+    """One timeout, three priorities: the validated ``timeout`` compile
+    or call option, then the ``TIRAMISU_TIMEOUT`` environment variable,
+    then ``default`` (which may be None — "no deadline")."""
+    if value is None:
+        env = os.environ.get(TIMEOUT_ENV, "").strip()
+        if env:
+            value = env
+        else:
+            return None if default is None else float(default)
+    t = float(value)
+    if t <= 0:
+        raise ValueError(f"timeout must be a positive number, got {value!r}")
+    return t
 
 
 def infer_argument_kinds(fn: Function) -> None:

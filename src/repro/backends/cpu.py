@@ -189,7 +189,11 @@ class CpuBackend(Backend):
             workers = resolve_num_threads(ctx.opt("num_threads"))
             if workers >= 2:
                 kernel.runtime = ParallelRuntime(
-                    ctx.source, workers, profiled=kernel.profiled)
+                    ctx.source, workers, profiled=kernel.profiled,
+                    max_retries=ctx.opt("max_retries", 2),
+                    timeout=ctx.opt("timeout"),
+                    on_worker_failure=ctx.opt("on_worker_failure",
+                                              "fallback"))
         return kernel
 
 

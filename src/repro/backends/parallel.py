@@ -23,6 +23,20 @@ dispatches those chunks onto real cores:
 Workers never receive live kernel objects (exec'd functions do not
 pickle): each chunk carries the emitted source and its digest, and the
 worker process re-execs it once, caching the namespace per digest.
+
+Fault tolerance (docs/robustness.md): a region dispatch that loses a
+worker (``BrokenProcessPool``) or misses its per-chunk ``timeout`` is
+retried on a fresh pool with exponential backoff, up to ``max_retries``
+times; shared buffers are snapshotted before the first dispatch and
+restored before each retry so reductions stay bit-identical.  When the
+pool keeps dying, ``on_worker_failure`` picks the endgame: ``"fallback"``
+(default) runs the region inline in the parent, ``"retry"`` raises after
+the last attempt, ``"raise"`` fails on the first.  Exceptions raised *by*
+the loop body are deterministic application errors and are never
+retried.  Every retry, pool restart, chunk timeout and fallback is
+counted in :mod:`repro.obs.metrics` and spanned on the tracer timeline;
+an active :class:`repro.faults.FaultPlan` can crash or hang individual
+chunk workers deterministically.
 """
 
 from __future__ import annotations
@@ -33,6 +47,8 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -40,24 +56,31 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import ExecutionError
+from repro.core.errors import ExecutionError, WorkerFailureError
+
+from .common import resolve_timeout
 
 
 def resolve_num_threads(value) -> int:
     """The ``num_threads`` compile option resolved to a worker count:
     ``None`` (or 0) means every core the machine has."""
+    if isinstance(value, bool):
+        raise ValueError(f"num_threads must be a positive int, got {value!r}")
     if value is None or value == 0:
         return os.cpu_count() or 1
     n = int(value)
-    if n < 1:
+    if n < 1 or n != value:
         raise ValueError(f"num_threads must be a positive int, got {value!r}")
     return n
 
 
 def chunk_ranges(lo: int, hi: int, n: int) -> List[Tuple[int, int]]:
     """Split the inclusive range [lo, hi] into <= n balanced contiguous
-    chunks (the larger chunks first)."""
+    chunks (the larger chunks first).  An empty range (hi < lo) yields
+    no chunks; n < 1 degrades to a single chunk."""
     trip = hi - lo + 1
+    if trip <= 0:
+        return []
     n = max(1, min(n, trip))
     base, extra = divmod(trip, n)
     out: List[Tuple[int, int]] = []
@@ -85,15 +108,26 @@ def _load_namespace(digest: str, source: str) -> dict:
 
 def _exec_chunk(digest: str, source: str, body_name: str, specs,
                 params: Dict[str, int], lo: int, hi: int,
-                profiled: bool = False) -> tuple:
+                profiled: bool = False, fault=None) -> tuple:
     """Run one chunk of a parallel loop inside a worker process.
 
     Returns ``(pid, start_ns, end_ns, obs_snapshot)`` — the wall clock
     of the chunk body (for the parent's worker-imbalance metrics) and,
     when ``profiled``, the worker collector's picklable counter
     snapshot so per-computation iteration counts stay exact under
-    multicore execution."""
+    multicore execution.
+
+    ``fault`` is the parent's fault-injection decision for this chunk
+    (workers never see the plan itself): ``("crash",)`` kills this
+    process outright — the pool reports ``BrokenProcessPool`` — and
+    ``("hang", seconds)`` stalls before computing, so a per-chunk
+    timeout reads it as a hung worker."""
     import time as _time
+    if fault:
+        if fault[0] == "crash":
+            os._exit(13)
+        elif fault[0] == "hang":
+            _time.sleep(float(fault[1]))
     ns = _load_namespace(digest, source)
     attached: List[shared_memory.SharedMemory] = []
     bufs: Dict[str, np.ndarray] = {}
@@ -151,6 +185,27 @@ def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
     return pool
 
 
+def _discard_pool(workers: int) -> None:
+    """Drop (and kill) the cached pool for ``workers`` so the next
+    ``_get_pool`` builds a fresh one.  Workers are terminated rather
+    than joined: a crashed pool's survivors are in an unknown state and
+    a hung worker would otherwise keep writing to shared buffers after
+    its region has been retried."""
+    pool = _POOLS.pop(workers, None)
+    if pool is None:
+        return
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except (AttributeError, OSError):
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except (OSError, RuntimeError):
+        pass
+
+
 def shutdown_pools() -> None:
     """Tear down every cached worker pool (also runs atexit)."""
     for pool in _POOLS.values():
@@ -170,6 +225,10 @@ class ParallelStats:
     chunks: int = 0          # total chunk futures submitted
     max_workers: int = 0     # widest single dispatch
     worker_pids: tuple = ()  # distinct pids that ran chunks
+    retries: int = 0         # region dispatches repeated after a failure
+    pool_restarts: int = 0   # broken pools discarded and rebuilt
+    chunk_timeouts: int = 0  # chunks that missed their deadline
+    sequential_fallbacks: int = 0  # regions degraded to inline execution
 
 
 class ParallelRuntime:
@@ -183,14 +242,29 @@ class ParallelRuntime:
     """
 
     def __init__(self, source: str, num_threads: int,
-                 min_chunk_iters: int = 1, profiled: bool = False):
+                 min_chunk_iters: int = 1, profiled: bool = False,
+                 max_retries: int = 2, timeout: Optional[float] = None,
+                 on_worker_failure: str = "fallback",
+                 retry_backoff: float = 0.05):
         self.source = source
         self.digest = hashlib.sha256(source.encode()).hexdigest()
         self.num_threads = int(num_threads)
         self.min_chunk_iters = min_chunk_iters
         self.profiled = bool(profiled)
+        self.max_retries = int(max_retries)
+        # Per-chunk deadline in seconds; None (and no TIRAMISU_TIMEOUT
+        # env override) means wait forever, the pre-fault-tolerance
+        # behavior.
+        self.timeout = resolve_timeout(timeout, default=None)
+        if on_worker_failure not in ("retry", "fallback", "raise"):
+            raise ValueError(
+                f"on_worker_failure must be 'retry', 'fallback' or "
+                f"'raise', got {on_worker_failure!r}")
+        self.on_worker_failure = on_worker_failure
+        self.retry_backoff = float(retry_backoff)
         self.stats = ParallelStats()
         self._specs = None  # buffer name -> (shm name, shape, dtype str)
+        self._views = None  # buffer name -> shm-backed ndarray (parent)
 
     def enabled(self) -> bool:
         return self.num_threads >= 2 \
@@ -226,6 +300,7 @@ class ParallelRuntime:
                 time.perf_counter() - copy_start)
             metrics.counter("parallel.shm_bytes_in").inc(bytes_in)
             self._specs = specs
+            self._views = views
             yield views
             back_start = time.perf_counter()
             bytes_out = 0
@@ -239,6 +314,7 @@ class ParallelRuntime:
             metrics.counter("parallel.shm_bytes_out").inc(bytes_out)
         finally:
             self._specs = None
+            self._views = None
             views.clear()
             for _, shm in shms:
                 try:
@@ -255,45 +331,151 @@ class ParallelRuntime:
         """Execute one parallel loop: split [lo, hi] into chunks and
         block until every worker finishes.
 
+        Worker *failures* (a crash breaking the pool, a chunk missing
+        its ``timeout``) are retried on a fresh pool — shared buffers
+        are restored from a snapshot first so partially-applied
+        reductions cannot double-count — and, with
+        ``on_worker_failure="fallback"``, degrade to inline sequential
+        execution when the pool keeps dying.  Exceptions raised by the
+        body itself are application errors and surface immediately.
+
         Each chunk result carries the worker's wall clock (and, when
         profiling, its counter snapshot); they are aggregated here, in
         the parent, into the process-global metrics registry and the
         per-call ``obs`` collector — workers never share state."""
         from repro.obs.metrics import metrics
-        pool = _get_pool(self.num_threads)
-        if pool is None or self._specs is None:  # raced a pool teardown
+        if self._specs is None:  # raced a pool teardown
             raise ExecutionError(
                 f"parallel region {body.__name__} has no active pool")
-        bounds = chunk_ranges(lo, hi, self.num_threads)
-        futures = [
-            pool.submit(_exec_chunk, self.digest, self.source,
-                        body.__name__, self._specs, params, clo, chi,
-                        self.profiled)
-            for clo, chi in bounds]
+        region = self.stats.regions
         self.stats.regions += 1
+        metrics.counter("parallel.regions").inc()
+        retryable = self.on_worker_failure != "raise"
+        # Chunks may have partially applied writes (reductions!) when a
+        # worker dies mid-flight; the snapshot lets every retry start
+        # from clean buffers, keeping retried output bit-identical.
+        snapshot = None
+        if retryable and self._views is not None:
+            snapshot = {name: np.array(view, copy=True)
+                        for name, view in self._views.items()}
+        attempts = 1 + (self.max_retries if retryable else 0)
+        delay = self.retry_backoff
+        failure: Optional[WorkerFailureError] = None
+        for attempt in range(attempts):
+            try:
+                self._dispatch(body, params, lo, hi, obs, region, attempt)
+                return
+            except WorkerFailureError as exc:
+                failure = exc
+                metrics.counter("parallel.worker_failures").inc()
+                _discard_pool(self.num_threads)
+                self.stats.pool_restarts += 1
+                metrics.counter("parallel.pool_restarts").inc()
+                if snapshot is not None:
+                    for name, saved in snapshot.items():
+                        self._views[name][...] = saved
+                if attempt + 1 < attempts:
+                    self.stats.retries += 1
+                    metrics.counter("parallel.retries").inc()
+                    self._trace_fault(f"parallel:retry:{body.__name__}",
+                                      attempt=attempt + 1, reason=str(exc))
+                    time.sleep(delay)
+                    delay *= 2
+                    if _get_pool(self.num_threads) is None:
+                        break  # the pool cannot come back on this host
+        if self.on_worker_failure == "fallback":
+            self.stats.sequential_fallbacks += 1
+            metrics.counter("parallel.sequential_fallbacks").inc()
+            self._trace_fault(f"parallel:fallback:{body.__name__}",
+                              region=region, reason=str(failure))
+            self._run_inline(body, params, lo, hi, obs)
+            return
+        raise failure
+
+    def _dispatch(self, body, params: Dict[str, int], lo: int, hi: int,
+                  obs, region: int, attempt: int) -> None:
+        """One attempt: submit every chunk, gather every result.
+
+        Raises :class:`WorkerFailureError` for infrastructure failures
+        (broken pool, chunk deadline) — the retryable class — and plain
+        :class:`ExecutionError` for exceptions the body raised."""
+        from repro.faults import get_plan
+        from repro.obs.metrics import metrics
+        pool = _get_pool(self.num_threads)
+        if pool is None:
+            raise WorkerFailureError(
+                f"parallel region {body.__name__} has no active pool")
+        plan = get_plan()
+        bounds = chunk_ranges(lo, hi, self.num_threads)
+        futures = []
+        try:
+            for k, (clo, chi) in enumerate(bounds):
+                fault = None
+                if plan is not None:
+                    site = dict(region=region, chunk=k, attempt=attempt)
+                    spec = plan.fires("worker-crash", **site)
+                    if spec is not None:
+                        fault = ("crash",)
+                    else:
+                        spec = plan.fires("worker-hang", **site)
+                        if spec is not None:
+                            fault = ("hang",
+                                     spec.payload.get("seconds", 30.0))
+                futures.append(pool.submit(
+                    _exec_chunk, self.digest, self.source, body.__name__,
+                    self._specs, params, clo, chi, self.profiled, fault))
+        except BrokenProcessPool as exc:
+            # An earlier chunk's crash can break the pool while later
+            # chunks are still being submitted.
+            for fut in futures:
+                fut.cancel()
+            raise WorkerFailureError(
+                f"parallel region {body.__name__}: the worker pool died "
+                f"during dispatch ({exc})") from exc
         self.stats.chunks += len(bounds)
         self.stats.max_workers = max(self.stats.max_workers, len(bounds))
         pids = set(self.stats.worker_pids)
         errors: List[BaseException] = []
         chunk_seconds: List[float] = []
-        for fut, (clo, chi) in zip(futures, bounds):
-            try:
-                pid, start_ns, end_ns, snapshot = fut.result()
-            except BaseException as exc:  # noqa: BLE001 - surfaced below
-                errors.append(exc)
-                continue
-            pids.add(pid)
-            seconds = (end_ns - start_ns) / 1e9
-            chunk_seconds.append(seconds)
-            metrics.histogram("parallel.chunk_seconds").observe(seconds)
-            metrics.histogram("parallel.chunk_iters").observe(
-                chi - clo + 1)
-            if obs is not None:
-                obs.merge(snapshot)
-                obs.worker_span(body.__name__, clo, chi, start_ns,
-                                end_ns, pid)
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        try:
+            for fut, (clo, chi) in zip(futures, bounds):
+                try:
+                    if deadline is None:
+                        pid, start_ns, end_ns, snapshot = fut.result()
+                    else:
+                        remaining = max(0.0, deadline - time.monotonic())
+                        pid, start_ns, end_ns, snapshot = fut.result(
+                            timeout=remaining)
+                except FuturesTimeoutError:
+                    self.stats.chunk_timeouts += 1
+                    metrics.counter("parallel.chunk_timeouts").inc()
+                    raise WorkerFailureError(
+                        f"parallel region {body.__name__}: chunk "
+                        f"[{clo}, {chi}] exceeded the {self.timeout:g}s "
+                        f"timeout (hung worker?)") from None
+                except BrokenProcessPool as exc:
+                    raise WorkerFailureError(
+                        f"parallel region {body.__name__}: the worker "
+                        f"pool died mid-dispatch ({exc})") from exc
+                except BaseException as exc:  # noqa: BLE001 - app error
+                    errors.append(exc)
+                    continue
+                pids.add(pid)
+                seconds = (end_ns - start_ns) / 1e9
+                chunk_seconds.append(seconds)
+                metrics.histogram("parallel.chunk_seconds").observe(seconds)
+                metrics.histogram("parallel.chunk_iters").observe(
+                    chi - clo + 1)
+                if obs is not None:
+                    obs.merge(snapshot)
+                    obs.worker_span(body.__name__, clo, chi, start_ns,
+                                    end_ns, pid)
+        finally:
+            for fut in futures:
+                fut.cancel()
         self.stats.worker_pids = tuple(sorted(pids))
-        metrics.counter("parallel.regions").inc()
         metrics.counter("parallel.chunks").inc(len(bounds))
         if chunk_seconds and min(chunk_seconds) > 0:
             metrics.gauge("parallel.last_imbalance").set(
@@ -302,3 +484,28 @@ class ParallelRuntime:
             raise ExecutionError(
                 f"parallel region {body.__name__} failed in a worker: "
                 f"{errors[0]}") from errors[0]
+
+    def _run_inline(self, body, params: Dict[str, int], lo: int, hi: int,
+                    obs) -> None:
+        """Graceful degradation: execute the whole region sequentially
+        in the parent, on the shared views the workers would have
+        written."""
+        views = self._views
+        if views is None:
+            raise ExecutionError(
+                f"parallel region {body.__name__}: no shared buffers to "
+                "fall back onto")
+        if self.profiled and obs is not None:
+            body(views, params, lo, hi, obs)
+        else:
+            body(views, params, lo, hi)
+
+    @staticmethod
+    def _trace_fault(name: str, **args) -> None:
+        """Drop a zero-length marker span on the tracer timeline so
+        retries and fallbacks are visible next to chunk spans."""
+        from repro.obs.tracer import CAT_FAULT, get_tracer
+        tracer = get_tracer()
+        if tracer.enabled():
+            now = time.perf_counter_ns()
+            tracer.add_span(name, CAT_FAULT, now, now, **args)

@@ -23,3 +23,40 @@ class CodegenError(TiramisuError):
 
 class ExecutionError(TiramisuError):
     """A compiled kernel failed at run time."""
+
+
+class WorkerFailureError(ExecutionError):
+    """A pool worker died (crash) or missed its chunk deadline (hang).
+
+    Raised for infrastructure failures only — an exception *raised by*
+    the loop body is a deterministic application error and stays a
+    plain :class:`ExecutionError` (retrying it would fail identically).
+    """
+
+
+class RankFailedError(ExecutionError):
+    """A peer rank died while this rank was blocked on it.
+
+    ``rank`` names the rank that actually failed, so callers blocked in
+    ``recv``/``barrier`` fail fast with the root cause instead of
+    timing out one by one.
+    """
+
+    def __init__(self, message: str, rank=None):
+        super().__init__(message)
+        self.rank = rank
+
+
+class DeadlockError(ExecutionError):
+    """Every live rank is blocked in ``recv``; ``cycle`` is the wait-for
+    cycle (a list of ranks, first == last) the detector found."""
+
+    def __init__(self, message: str, cycle=()):
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class InjectedFaultError(ExecutionError):
+    """A failure deliberately injected by an active
+    :class:`repro.faults.FaultPlan` (distinguishable in tests from an
+    organic failure)."""

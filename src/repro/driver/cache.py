@@ -5,15 +5,28 @@ ir_fingerprint`; the autoscheduler's and benchmark harness's hot loop —
 compiling the same function/schedule pair over and over — hits the
 registry and skips every lowering stage.  The registry is bounded (LRU
 eviction) so a long schedule search cannot grow memory without limit.
+
+Every entry carries a content digest of its stored source, verified on
+``get``: a corrupted entry (however it got that way — the deterministic
+way is a :class:`repro.faults.FaultPlan` ``cache-corrupt`` site) is
+dropped and reported as a miss, so the pipeline recompiles instead of
+binding damaged code.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 DEFAULT_MAXSIZE = 64
+
+
+def source_digest(source: str) -> str:
+    """The content digest stored with (and verified against) an
+    entry's source."""
+    return hashlib.sha256(source.encode()).hexdigest()
 
 
 @dataclass
@@ -25,6 +38,7 @@ class CacheEntry:
     target: str
     source: str
     kernel: object
+    digest: str = ""    # source_digest(source), filled by put()
 
 
 class CompileCache:
@@ -38,6 +52,7 @@ class CompileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,13 +63,31 @@ class CompileCache:
     def get(self, key: str) -> Optional[CacheEntry]:
         """Return the entry for ``key`` (refreshing its LRU position), or
         None.  Counters are the pipeline's to update: it may still
-        reject a found entry as stale."""
+        reject a found entry as stale.
+
+        The entry's source is digest-verified first; corruption is a
+        miss — the entry is dropped so the pipeline recompiles rather
+        than binding damaged code."""
         entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
+        if entry is None:
+            return None
+        from repro.faults import get_plan
+        plan = get_plan()
+        if plan is not None and plan.fires("cache-corrupt", key=key):
+            entry.source = plan.corrupt_text(entry.source, "cache-corrupt",
+                                             key=key)
+        if entry.digest and source_digest(entry.source) != entry.digest:
+            self._entries.pop(key, None)
+            self.corruptions += 1
+            from repro.obs.metrics import metrics
+            metrics.counter("cache.corruption_misses").inc()
+            return None
+        self._entries.move_to_end(key)
         return entry
 
     def put(self, entry: CacheEntry) -> None:
+        if not entry.digest:
+            entry.digest = source_digest(entry.source)
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
         while len(self._entries) > self.maxsize:
@@ -70,6 +103,7 @@ class CompileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def resize(self, maxsize: int) -> None:
         if maxsize < 1:
@@ -90,8 +124,9 @@ class CompileCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "size": len(self._entries),
-                "maxsize": self.maxsize}
+                "evictions": self.evictions,
+                "corruptions": self.corruptions,
+                "size": len(self._entries), "maxsize": self.maxsize}
 
 
 #: The process-wide kernel registry used by :func:`compile_function`.

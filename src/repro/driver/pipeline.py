@@ -37,6 +37,16 @@ BASE_OPTIONS: Dict[str, object] = {
     # emitted source, so it is part of the cache key; the default
     # (False) path is byte-identical to an unprofiled build.
     "profile": False,
+    # Fault tolerance (docs/robustness.md): how many times a parallel
+    # region is re-dispatched after a worker failure, the per-chunk /
+    # per-recv deadline in seconds (None defers to the TIRAMISU_TIMEOUT
+    # env var, then the runtime's own default), and the endgame when
+    # the pool keeps dying ("fallback" degrades to sequential
+    # execution, "retry" raises after the last attempt, "raise" fails
+    # on the first).
+    "max_retries": 2,
+    "timeout": None,
+    "on_worker_failure": "fallback",
 }
 
 #: The stages a full (cold) compile runs, in order ("legality" and
@@ -79,6 +89,21 @@ class CompilePipeline:
         if not isinstance(prof, bool):
             raise TypeError(
                 f"profile must be True or False, got {prof!r}")
+        mr = merged.get("max_retries")
+        if not isinstance(mr, int) or isinstance(mr, bool) or mr < 0:
+            raise TypeError(
+                f"max_retries must be a non-negative int, got {mr!r}")
+        to = merged.get("timeout")
+        if to is not None and (isinstance(to, bool)
+                               or not isinstance(to, (int, float))
+                               or to <= 0):
+            raise TypeError(
+                f"timeout must be a positive number or None, got {to!r}")
+        owf = merged.get("on_worker_failure")
+        if owf not in ("retry", "fallback", "raise"):
+            raise TypeError(
+                f"on_worker_failure must be 'retry', 'fallback' or "
+                f"'raise', got {owf!r}")
         return merged
 
     # -- stages -----------------------------------------------------------

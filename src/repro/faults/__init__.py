@@ -1,0 +1,18 @@
+"""Deterministic fault injection for the execution runtimes.
+
+See :mod:`repro.faults.plan` for the model and docs/robustness.md for
+the failure semantics each runtime guarantees under an active plan.
+"""
+
+from .plan import (FAULT_KINDS, FaultPlan, FaultSpec, get_plan, injected,
+                   install, uninstall)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "get_plan",
+    "injected",
+    "install",
+    "uninstall",
+]

@@ -55,6 +55,45 @@ def estimate_messages(messages: Iterable[Tuple[int, int, int]],
                         messages=count, bytes_moved=total_bytes)
 
 
+def estimate_with_faults(messages: Iterable[Tuple[int, int, int]],
+                         plan,
+                         elem_bytes: float = 4.0,
+                         packed: bool = False,
+                         net: Network = DEFAULT_NETWORK,
+                         overlap: float = 0.0,
+                         recv_timeout: float = 30.0) -> CommEstimate:
+    """Price a message schedule under a :class:`repro.faults.FaultPlan`.
+
+    Every message a ``message-drop`` site would claim costs its receiver
+    one ``recv_timeout`` (the blocked receive expiring) plus a
+    retransmission of the same payload — the price of recovering a lost
+    message with timeout-and-resend, stacked on top of the fault-free
+    estimate.  The plan is replayed on a :meth:`~repro.faults.FaultPlan.
+    clone` so the caller's live spec counters are untouched.
+    """
+    schedule = list(messages)
+    base = estimate_messages(schedule, elem_bytes, packed, net, overlap)
+    if plan is None:
+        return base
+    replay = plan.clone()
+    link_counts: dict = {}
+    extra_seconds = 0.0
+    retransmits = 0
+    extra_bytes = 0.0
+    for src, dst, elems in schedule:
+        index = link_counts.get((src, dst), 0)
+        link_counts[(src, dst)] = index + 1
+        if replay.fires("message-drop", src=src, dst=dst,
+                        message=index) is not None:
+            nbytes = elems * elem_bytes
+            extra_seconds += recv_timeout + message_time(net, nbytes, packed)
+            extra_bytes += nbytes
+            retransmits += 1
+    return CommEstimate(seconds=base.seconds + extra_seconds,
+                        messages=base.messages + retransmits,
+                        bytes_moved=base.bytes_moved + extra_bytes)
+
+
 def halo_exchange_time(nodes: int, halo_elems_per_pair: int,
                        elem_bytes: float = 4.0,
                        overestimate: float = 1.0,

@@ -17,12 +17,13 @@ Three cooperating pieces (see docs/observability.md):
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, metrics)
 from .runreport import (CompRecord, RunCollector, RunReport,
                         build_run_report)
-from .tracer import (CAT_COMPILE, CAT_LOOP, CAT_PARALLEL, CAT_WORKER,
-                     Span, TRACE_FILE_ENV, Tracer, get_tracer,
+from .tracer import (CAT_COMPILE, CAT_FAULT, CAT_LOOP, CAT_PARALLEL,
+                     CAT_WORKER, Span, TRACE_FILE_ENV, Tracer, get_tracer,
                      trace_file_path, write_trace_file)
 
 __all__ = [
     "CAT_COMPILE",
+    "CAT_FAULT",
     "CAT_LOOP",
     "CAT_PARALLEL",
     "CAT_WORKER",

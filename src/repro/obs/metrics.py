@@ -11,6 +11,16 @@ state.
 The parallel backend feeds, per dispatched region: a chunk-seconds and
 chunk-iterations histogram (worker imbalance = the max/min spread), and
 shared-memory staging costs (copy-in / copy-back seconds and bytes).
+
+Fault tolerance (docs/robustness.md) adds failure-path counters:
+``parallel.worker_failures`` / ``parallel.retries`` /
+``parallel.pool_restarts`` / ``parallel.chunk_timeouts`` /
+``parallel.sequential_fallbacks`` from the pool runtime;
+``dist.rank_failures`` / ``dist.rank_failure_propagations`` /
+``dist.deadlocks`` / ``dist.recv_timeouts`` / ``dist.hung_ranks`` /
+``dist.messages_dropped`` / ``dist.messages_corrupted`` from the
+distributed simulator; and ``cache.corruption_misses`` from the
+digest-verifying compile cache.
 """
 
 from __future__ import annotations

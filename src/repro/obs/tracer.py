@@ -37,6 +37,7 @@ CAT_COMPILE = "compile-stage"
 CAT_LOOP = "loop-nest"
 CAT_PARALLEL = "parallel"
 CAT_WORKER = "worker"
+CAT_FAULT = "fault"  # retries, pool restarts, fallbacks, injected faults
 
 
 @dataclass

@@ -1,0 +1,227 @@
+"""Fault tolerance in the simulated-MPI runtime: rank-failure
+propagation (peers fail fast naming the dead rank), deadlock detection
+with the wait-for cycle, hung-rank detection at join, and deterministic
+message drop/corruption on the simulated links."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import (ASYNC, SYNC, Buffer, Computation, Function, Input,
+                   Param, Var, receive, send)
+from repro.core.errors import (DeadlockError, ExecutionError,
+                               RankFailedError)
+from repro.driver import kernel_registry
+from repro.faults import FaultPlan, injected, uninstall
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    kernel_registry.clear()
+    uninstall()
+    yield
+    uninstall()
+    kernel_registry.clear()
+
+
+def build_halo_stencil():
+    R, Nodes = Param("R"), Param("Nodes")
+    f = Function("dstencil", params=[R, Nodes])
+    with f:
+        lin = Input("lin", [Var("x", 0, R + 1)])
+        s_it = Var("s", 1, Nodes)
+        r_it = Var("r", 0, Nodes - 1)
+        s_op = send([s_it], lin.get_buffer(), 0, 1, s_it - 1, (ASYNC,))
+        r_op = receive([r_it], lin.get_buffer(), R, 1, r_it + 1, (SYNC,),
+                       matching_send=s_op)
+        i = Var("i", 0, R)
+        out = Computation("out", [i], None)
+        out.set_expression(lin(i) + lin(i + 1))
+    s_op.distribute("s")
+    r_op.distribute("r")
+    r_op.after(s_op)
+    out.after(r_op)
+    return f
+
+
+def halo_inputs(ranks, rows):
+    full = np.arange(ranks * rows, dtype=np.float64)
+    return full, {"lin": [
+        np.concatenate([full[q * rows:(q + 1) * rows], [0.0]])
+        for q in range(ranks)]}
+
+
+def run_halo(kernel, ranks=4, rows=5, **kw):
+    _, inputs = halo_inputs(ranks, rows)
+    return kernel(ranks=ranks, inputs=inputs,
+                  params={"R": rows, "Nodes": ranks}, **kw)
+
+
+class TestRankFailurePropagation:
+    def test_peers_fail_fast_naming_the_dead_rank(self):
+        kernel = build_halo_stencil().compile("distributed")
+        start = time.monotonic()
+        with injected(FaultPlan().crash_rank(1)) as plan:
+            with pytest.raises(ExecutionError) as err:
+                run_halo(kernel, ranks=4, timeout=10.0)
+        elapsed = time.monotonic() - start
+        # Fail-fast: nowhere near the 10s receive timeout.
+        assert elapsed < 5.0
+        assert plan.fired("rank-crash") == 1
+        assert "rank 1" in str(err.value)
+        assert "injected fault" in str(err.value)
+
+    def test_failure_ledger_names_root_cause_and_victims(self):
+        kernel = build_halo_stencil().compile("distributed")
+        with injected(FaultPlan().crash_rank(1)):
+            with pytest.raises(ExecutionError):
+                run_halo(kernel, ranks=4, timeout=10.0)
+        failures = kernel.last_failures
+        assert 1 in failures                     # the crashed rank
+        assert "InjectedFaultError" in failures[1]
+        # rank 0 was waiting on rank 1's halo row: poisoned channel
+        assert 0 in failures
+        assert "peer rank 1 failed" in failures[0]
+
+    def test_rank_failure_counts_into_metrics(self):
+        from repro.obs.metrics import metrics
+        metrics.reset()
+        kernel = build_halo_stencil().compile("distributed")
+        with injected(FaultPlan().crash_rank(2)):
+            with pytest.raises(ExecutionError):
+                run_halo(kernel, ranks=4, timeout=10.0)
+        assert metrics.counter("dist.rank_failures").value == 1
+        assert metrics.counter("dist.rank_failure_propagations").value >= 1
+
+    def test_fault_free_run_unaffected_by_installed_plan(self):
+        # A plan addressing a rank this run never reaches is inert.
+        kernel = build_halo_stencil().compile("distributed")
+        with injected(FaultPlan().crash_rank(99)) as plan:
+            res = run_halo(kernel, ranks=2)
+        assert plan.fired() == 0
+        assert all(r is not None for r in res)
+
+
+def build_cross_receive():
+    """Two ranks, each receiving from the other, nobody sending: the
+    canonical wait-for cycle."""
+    Nodes = Param("Nodes")
+    f = Function("deadlock", params=[Nodes])
+    with f:
+        buf = Buffer("b", [4])
+        ra = Var("ra", 0, 1)      # rank 0 only (upper bound exclusive)
+        rb = Var("rb", 1, 2)      # rank 1 only
+        r_a = receive([ra], buf, 0, 1, ra + 1)
+        r_b = receive([rb], buf, 0, 1, rb - 1)
+        c = Computation("c", [Var("i", 0, 4)], 0.0)
+        c.store_in(buf, [Var("i", 0, 4)])
+    r_a.distribute("ra")
+    r_b.distribute("rb")
+    r_b.after(r_a)
+    c.after(r_b)
+    return f
+
+
+class TestDeadlockDetection:
+    def test_cross_receive_reports_the_cycle(self):
+        kernel = build_cross_receive().compile("distributed")
+        start = time.monotonic()
+        with pytest.raises(ExecutionError) as err:
+            kernel(ranks=2, inputs={}, params={"Nodes": 2}, timeout=10.0)
+        elapsed = time.monotonic() - start
+        # Detected by cycle traversal, not by waiting out the timeout.
+        assert elapsed < 5.0
+        msg = str(err.value)
+        assert "deadlock" in msg
+        assert "rank 0 -> rank 1 -> rank 0" in msg \
+            or "rank 1 -> rank 0 -> rank 1" in msg
+
+    def test_deadlock_error_carries_the_cycle(self):
+        kernel = build_cross_receive().compile("distributed")
+        with pytest.raises(ExecutionError) as err:
+            kernel(ranks=2, inputs={}, params={"Nodes": 2}, timeout=10.0)
+        cause = err.value.__cause__
+        assert isinstance(cause, DeadlockError)
+        assert set(cause.cycle) == {0, 1}
+        from repro.obs.metrics import metrics
+        assert metrics.counter("dist.deadlocks").value >= 1
+
+
+class TestHungRankDetection:
+    def build_compute_only(self):
+        P, Nodes = Param("P"), Param("Nodes")
+        f = Function("hang", params=[P, Nodes])
+        with f:
+            q, i = Var("q", 0, Nodes), Var("i", 0, P)
+            c = Computation("c", [q, i], 1.0)
+        c.distribute("q")
+        return f
+
+    def test_hung_rank_raises_instead_of_returning_none(self):
+        # Regression: a rank outliving the join used to leave
+        # results[rank] = None and return "successfully".
+        kernel = self.build_compute_only().compile("distributed")
+        with injected(FaultPlan().hang_rank(0, seconds=15.0)) as plan:
+            with pytest.raises(ExecutionError) as err:
+                kernel(ranks=1, inputs={}, params={"P": 4, "Nodes": 1},
+                       timeout=0.3)
+        assert plan.fired("rank-hang") == 1
+        msg = str(err.value)
+        assert "hung" in msg and "rank(s) 0" in msg
+        assert "still running" in msg
+        from repro.obs.metrics import metrics
+        assert metrics.counter("dist.hung_ranks").value >= 1
+
+    def test_healthy_run_returns_all_results(self):
+        kernel = self.build_compute_only().compile("distributed")
+        res = kernel(ranks=2, inputs={}, params={"P": 4, "Nodes": 2})
+        assert len(res) == 2
+        assert all(r is not None for r in res)
+
+
+class TestMessageFaults:
+    def test_dropped_message_times_out_the_receiver(self):
+        kernel = build_halo_stencil().compile("distributed")
+        start = time.monotonic()
+        plan = FaultPlan().drop_message(src=1, dst=0, message=0)
+        with injected(plan):
+            with pytest.raises(ExecutionError) as err:
+                run_halo(kernel, ranks=2, timeout=0.5)
+        elapsed = time.monotonic() - start
+        assert plan.fired("message-drop") == 1
+        assert 0.4 < elapsed < 5.0
+        assert "timed out" in str(err.value)
+        assert "receive from 1" in str(err.value)
+        from repro.obs.metrics import metrics
+        assert metrics.counter("dist.messages_dropped").value >= 1
+
+    def test_corrupted_message_is_deterministic(self):
+        _, clean_inputs = halo_inputs(2, 5)
+        clean = np.concatenate([
+            r["out"] for r in build_halo_stencil().compile("distributed")(
+                ranks=2, inputs=clean_inputs,
+                params={"R": 5, "Nodes": 2})])
+        outs = []
+        for _ in range(2):
+            kernel = build_halo_stencil().compile("distributed", cache=False)
+            plan = FaultPlan(seed=42).corrupt_message(src=1, dst=0,
+                                                      message=0)
+            with injected(plan):
+                res = run_halo(kernel, ranks=2)
+            assert plan.fired("message-corrupt") == 1
+            outs.append(np.concatenate([r["out"] for r in res]))
+        # The run completes, the payload damage shows in the output,
+        # and the same seed flips the same bytes every time.
+        assert outs[0].tobytes() != clean.tobytes()
+        assert outs[0].tobytes() == outs[1].tobytes()
+
+    def test_different_seeds_corrupt_differently(self):
+        outs = []
+        for seed in (1, 2):
+            kernel = build_halo_stencil().compile("distributed", cache=False)
+            with injected(FaultPlan(seed=seed).corrupt_message(
+                    src=1, dst=0, message=0)):
+                res = run_halo(kernel, ranks=2)
+            outs.append(np.concatenate([r["out"] for r in res]))
+        assert outs[0].tobytes() != outs[1].tobytes()

@@ -136,6 +136,50 @@ class TestUniformOptions:
         assert "extra_flags" in str(err.value)
 
 
+class TestFaultToleranceOptions:
+    """The robustness options (docs/robustness.md) are validated by the
+    staged driver and participate in the cache key."""
+
+    def test_max_retries_validated(self):
+        f, _ = build_simple()
+        for bad in (-1, 1.5, True, "2"):
+            with pytest.raises(TypeError, match="max_retries"):
+                f.compile("cpu", max_retries=bad)
+        assert f.compile("cpu", max_retries=0) is not None
+
+    def test_timeout_validated(self):
+        f, _ = build_simple()
+        for bad in (-1, 0, True, "5s"):
+            with pytest.raises(TypeError, match="timeout"):
+                f.compile("cpu", timeout=bad)
+        assert f.compile("cpu", timeout=2.5) is not None
+
+    def test_on_worker_failure_validated(self):
+        f, _ = build_simple()
+        for bad in ("ignore", None, 1):
+            with pytest.raises(TypeError, match="on_worker_failure"):
+                f.compile("cpu", on_worker_failure=bad)
+        for mode in ("retry", "fallback", "raise"):
+            assert f.compile("cpu", on_worker_failure=mode) is not None
+
+    def test_options_join_the_cache_key(self):
+        f, _ = build_simple()
+        base = f.compile("cpu")
+        fingerprints = {base.report.fingerprint}
+        for opts in ({"max_retries": 5}, {"timeout": 1.0},
+                     {"on_worker_failure": "raise"}):
+            k = f.compile("cpu", **opts)
+            assert not k.report.cache_hit
+            fingerprints.add(k.report.fingerprint)
+        assert len(fingerprints) == 4
+
+    def test_accepted_on_every_target(self):
+        for target in ("cpu", "c", "gpu", "distributed"):
+            f, _ = build_simple(f"ft_{target}")
+            with pytest.raises(TypeError, match="on_worker_failure"):
+                f.compile(target, on_worker_failure="bogus")
+
+
 class TestCompileReport:
     def test_cold_compile_stage_order(self):
         f, _ = build_simple()

@@ -233,3 +233,22 @@ class TestNetworkModel:
         exact = halo_exchange_time(8, 10_000)
         over = halo_exchange_time(8, 10_000, overestimate=8.0)
         assert over.bytes_moved == pytest.approx(exact.bytes_moved * 8)
+
+    def test_fault_plan_prices_drops_as_timeout_plus_resend(self):
+        from repro.faults import FaultPlan
+        from repro.machine import estimate_with_faults
+        msgs = [(1, 0, 1000), (2, 1, 1000), (3, 2, 1000)]
+        base = estimate_with_faults(msgs, None)
+        assert base.seconds == estimate_messages(msgs).seconds
+        plan = FaultPlan().drop_message(src=2, dst=1, message=0)
+        faulty = estimate_with_faults(msgs, plan, recv_timeout=3.0)
+        one_msg = message_time(DEFAULT_NETWORK, 1000 * 4.0)
+        assert faulty.seconds == pytest.approx(
+            base.seconds + 3.0 + one_msg)
+        assert faulty.messages == base.messages + 1
+        assert faulty.bytes_moved == pytest.approx(
+            base.bytes_moved + 4000.0)
+        # The plan was replayed on a clone: the live specs are untouched.
+        assert plan.fired() == 0
+        assert plan.fires("message-drop", src=2, dst=1,
+                          message=0) is not None
