@@ -52,8 +52,14 @@ class TestProfileOffOverhead:
         inputs = base.make_inputs(PARAMS, np.random.default_rng(0))
         _best_of(k_base, inputs, repeats=2)   # warm both code paths
         _best_of(k_off, inputs, repeats=2)
-        t_base = _best_of(k_base, inputs)
-        t_off = _best_of(k_off, inputs)
+        # Interleave the two measurements so host-load drift across the
+        # benchmark suite hits both kernels equally; best-of cancels the
+        # remaining spikes (the kernels are byte-identical, so the true
+        # ratio is 1.0 by construction).
+        t_base = t_off = float("inf")
+        for _ in range(REPEATS):
+            t_base = min(t_base, _best_of(k_base, inputs, repeats=1))
+            t_off = min(t_off, _best_of(k_off, inputs, repeats=1))
         ratio = t_off / t_base
         print_table("profiling overhead (off)", {
             "baseline best (ms)": f"{t_base * 1e3:.3f}",

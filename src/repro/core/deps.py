@@ -124,6 +124,26 @@ def _lex_lt_relation(names: Sequence[str], tuple_name: str,
     return Map(pieces, space)
 
 
+class _AccessTables:
+    """Per-function access relations, built once and shared across the
+    O(pairs x kinds) dependence loop: write map, read maps, and their
+    reversals for every computation (reversal of the same map used to be
+    recomputed for every pair it appeared in)."""
+
+    def __init__(self, comps):
+        self.writes: Dict[str, Optional[Map]] = {}
+        self.write_revs: Dict[str, Optional[Map]] = {}
+        self.reads: Dict[str, List[Tuple[object, Map]]] = {}
+        self.read_revs: Dict[str, List[Tuple[object, Map]]] = {}
+        for c in comps:
+            w = write_map(c)
+            self.writes[c.name] = w
+            self.write_revs[c.name] = w.reverse() if w is not None else None
+            r = read_maps(c)
+            self.reads[c.name] = r
+            self.read_revs[c.name] = [(buf, m.reverse()) for buf, m in r]
+
+
 def compute_dependences(fn, kinds=("flow", "anti", "output")
                         ) -> List[Dependence]:
     """All memory-based dependences of the function, with sources ordered
@@ -131,6 +151,8 @@ def compute_dependences(fn, kinds=("flow", "anti", "output")
     execution order."""
     comps = [c for c in fn.active_computations()
              if not isinstance(c, Operation)]
+    acc = _AccessTables(comps)
+    lex_cache: Dict[Tuple, Map] = {}
     deps: List[Dependence] = []
     decl_index = {c.name: i for i, c in enumerate(fn.computations)}
     for a in comps:
@@ -138,11 +160,15 @@ def compute_dependences(fn, kinds=("flow", "anti", "output")
             if decl_index[a.name] > decl_index[b.name]:
                 continue
             for kind in kinds:
-                rel = _pair_dependence(a, b, kind)
+                rel = _pair_dependence(a, b, kind, acc)
                 for buffer, m in rel:
                     if a is b:
-                        lex = _lex_lt_relation(a.var_names, a.name,
-                                               m.space.params)
+                        key = (tuple(a.var_names), a.name, m.space.params)
+                        lex = lex_cache.get(key)
+                        if lex is None:
+                            lex = _lex_lt_relation(a.var_names, a.name,
+                                                   m.space.params)
+                            lex_cache[key] = lex
                         m = m.intersect(lex)
                     m = m.coalesce()
                     if not m.is_empty():
@@ -150,28 +176,32 @@ def compute_dependences(fn, kinds=("flow", "anti", "output")
     return deps
 
 
-def _pair_dependence(a, b, kind) -> List[Tuple[object, Map]]:
+def _pair_dependence(a, b, kind, acc: Optional[_AccessTables] = None
+                     ) -> List[Tuple[object, Map]]:
     """Dependence relations a -> b of the given kind (a not after b)."""
+    if acc is None:
+        acc = _AccessTables([a] if a is b else [a, b])
     out: List[Tuple[object, Map]] = []
-    wa = write_map(a)
-    wb = write_map(b)
+    wa = acc.writes[a.name]
     if kind == "flow":
         if wa is None:
             return out
-        for buf, rm in read_maps(b):
+        for buf, rm_rev in acc.read_revs[b.name]:
             if buf is a.get_buffer():
-                out.append((buf, wa.apply_range(rm.reverse())))
+                out.append((buf, wa.apply_range(rm_rev)))
     elif kind == "anti":
-        if wb is None:
+        wb_rev = acc.write_revs[b.name]
+        if wb_rev is None:
             return out
-        for buf, rm in read_maps(a):
+        for buf, rm in acc.reads[a.name]:
             if buf is b.get_buffer():
-                out.append((buf, rm.apply_range(wb.reverse())))
+                out.append((buf, rm.apply_range(wb_rev)))
     elif kind == "output":
-        if wa is None or wb is None:
+        wb_rev = acc.write_revs[b.name]
+        if wa is None or wb_rev is None:
             return out
         if a.get_buffer() is b.get_buffer():
-            out.append((a.get_buffer(), wa.apply_range(wb.reverse())))
+            out.append((a.get_buffer(), wa.apply_range(wb_rev)))
     return out
 
 
@@ -285,12 +315,14 @@ def check_schedule_legality(fn) -> int:
     depth = fn.max_depth()
     n_out = 2 * depth + 1
     sched: Dict[str, Map] = {}
+    sched_rev: Dict[str, Map] = {}
     for dep in deps:
         for comp in (dep.source, dep.sink):
             if comp.name not in sched:
                 sched[comp.name] = full_schedule_map(
                     comp, beta[comp.name], depth)
-        rel = (sched[dep.source.name].reverse()
+                sched_rev[comp.name] = sched[comp.name].reverse()
+        rel = (sched_rev[dep.source.name]
                .apply_range(dep.relation)
                .apply_range(sched[dep.sink.name]))
         if _time_violation(rel, n_out):
@@ -303,7 +335,9 @@ def check_schedule_legality(fn) -> int:
 
 def carried_at_level(fn, comp, level: int,
                      deps: Optional[List[Dependence]] = None,
-                     beta=None, depth: Optional[int] = None
+                     beta=None, depth: Optional[int] = None,
+                     sched: Optional[Dict[str, Map]] = None,
+                     rels: Optional[Dict[int, Map]] = None
                      ) -> List[Dependence]:
     """Dependences carried by loop ``level`` of ``comp`` (same values of
     all outer dims, different at ``level``).  A loop can be parallelized,
@@ -311,7 +345,10 @@ def carried_at_level(fn, comp, level: int,
 
     ``deps``/``beta``/``depth`` may be passed precomputed so callers
     checking many (computation, level) pairs — the race detector — run
-    the dependence analysis once.
+    the dependence analysis once; ``sched`` (schedule maps by
+    computation name) and ``rels`` (time-space dependence relations by
+    ``id(dep)``) are shared scratch caches for the same callers, since
+    neither varies with ``level``.
     """
     if deps is None:
         deps = compute_dependences(fn)
@@ -319,13 +356,27 @@ def carried_at_level(fn, comp, level: int,
         beta = fn.resolve_order()
     if depth is None:
         depth = fn.max_depth()
+    if sched is None:
+        sched = {}
     carried: List[Dependence] = []
+
+    def sched_map(c) -> Map:
+        m = sched.get(c.name)
+        if m is None:
+            m = full_schedule_map(c, beta[c.name], depth)
+            sched[c.name] = m
+        return m
+
     for dep in deps:
         if dep.source is not comp and dep.sink is not comp:
             continue
-        sp = full_schedule_map(dep.source, beta[dep.source.name], depth)
-        sq = full_schedule_map(dep.sink, beta[dep.sink.name], depth)
-        rel = sp.reverse().apply_range(dep.relation).apply_range(sq)
+        rel = rels.get(id(dep)) if rels is not None else None
+        if rel is None:
+            rel = (sched_map(dep.source).reverse()
+                   .apply_range(dep.relation)
+                   .apply_range(sched_map(dep.sink)))
+            if rels is not None:
+                rels[id(dep)] = rel
         # Carried: equal on all dims before dyn dim `level`, different at
         # `level` (position 2*level+1 in the interleaved vector).
         pos = 2 * level + 1
@@ -378,9 +429,11 @@ def check_parallel_legality(fn, kinds: Sequence[str] = RACE_CHECKED_TAGS
     deps = compute_dependences(fn)
     beta = fn.resolve_order()
     depth = fn.max_depth()
+    sched: Dict[str, Map] = {}
+    rels: Dict[int, Map] = {}
     for comp, level, tag in tagged:
         carried = carried_at_level(fn, comp, level, deps=deps, beta=beta,
-                                   depth=depth)
+                                   depth=depth, sched=sched, rels=rels)
         if carried:
             dep = carried[0]
             raise IllegalScheduleError(

@@ -240,6 +240,8 @@ class CompilePipeline:
         # Point-in-time copy: later compiles must not mutate the stats
         # an already-issued report carries.
         ctx.report.cache_stats = dict(self.cache.stats())
+        from repro.isl.cache import stats as isl_cache_stats
+        ctx.report.isl_cache_stats = isl_cache_stats()
         ctx.report.parallel_regions = getattr(kernel, "parallel_regions", 0)
         runtime = getattr(kernel, "runtime", None)
         if runtime is not None:

@@ -79,6 +79,10 @@ class CompileReport:
     parallel_regions: int = 0
     parallel_workers: Optional[int] = None
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Point-in-time counters of the process-wide ISL memo caches
+    #: (:mod:`repro.isl.cache`): emptiness and composition hits/misses
+    #: and current sizes.  Cumulative across compiles, like cache_stats.
+    isl_cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -120,6 +124,7 @@ class CompileReport:
             "parallel_regions": self.parallel_regions,
             "parallel_workers": self.parallel_workers,
             "cache_stats": dict(self.cache_stats),
+            "isl_cache_stats": dict(self.isl_cache_stats),
         }
 
     def format_table(self) -> str:
@@ -153,6 +158,15 @@ class CompileReport:
                 f"{cs.get('misses', 0)} misses / "
                 f"{cs.get('evictions', 0)} evictions "
                 f"(size {cs.get('size', 0)}/{cs.get('maxsize', 0)})")
+        if self.isl_cache_stats:
+            ics = self.isl_cache_stats
+            lines.append(
+                f"  isl cache: empty {ics.get('empty_hits', 0)} hits / "
+                f"{ics.get('empty_misses', 0)} misses "
+                f"(size {ics.get('empty_size', 0)}), compose "
+                f"{ics.get('compose_hits', 0)} hits / "
+                f"{ics.get('compose_misses', 0)} misses "
+                f"(size {ics.get('compose_size', 0)})")
         lines.append(f"  key: {self.fingerprint[:16]}")
         return "\n".join(lines)
 

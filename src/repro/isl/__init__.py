@@ -9,6 +9,9 @@ for the ISL set/map notation used throughout the paper.
 """
 
 from .basic import BasicMap, BasicSet
+from .cache import cache_disabled as isl_cache_disabled
+from .cache import clear as isl_cache_clear
+from .cache import stats as isl_cache_stats
 from .constraint import EQ, GE, Constraint
 from .enumerate_ import count, points
 from .linexpr import DIV, IN, OUT, PARAM, LinExpr
@@ -24,4 +27,5 @@ __all__ = [
     "ParseError", "parse", "parse_map", "parse_set",
     "lexmax", "lexmin", "sample",
     "gist", "remove_redundant", "Space", "Map", "Set",
+    "isl_cache_clear", "isl_cache_disabled", "isl_cache_stats",
 ]

@@ -21,13 +21,14 @@ class BasicMap:
     output tuple, over shared symbolic parameters, with ``n_div``
     existentially quantified dimensions."""
 
-    __slots__ = ("space", "n_div", "constraints")
+    __slots__ = ("space", "n_div", "constraints", "_hash")
 
     def __init__(self, space: Space, constraints: Iterable[Constraint] = (),
                  n_div: int = 0):
         self.space = space
         self.n_div = n_div
         self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        self._hash = None
         self._validate()
 
     def _validate(self) -> None:
@@ -78,6 +79,7 @@ class BasicMap:
         obj.n_div = n_div if n_div is not None else self.n_div
         obj.constraints = tuple(constraints) if constraints is not None \
             else self.constraints
+        obj._hash = None
         obj._validate()
         return obj
 
@@ -113,6 +115,11 @@ class BasicMap:
     # -- set operations ------------------------------------------------
 
     def intersect(self, other: "BasicMap") -> "BasicMap":
+        from .cache import composed
+        return composed("intersect", self, other,
+                        lambda: self._intersect_uncached(other))
+
+    def _intersect_uncached(self, other: "BasicMap") -> "BasicMap":
         a, b = self._aligned_pair(other)
         if not a.space.compatible_with(b.space):
             raise ValueError(f"incompatible spaces: {a.space!r} vs {b.space!r}")
@@ -268,6 +275,11 @@ class BasicMap:
 
     def apply_range(self, other: "BasicMap") -> "BasicMap":
         """Composition: ``other`` applied after ``self`` (A->B, B->C: A->C)."""
+        from .cache import composed
+        return composed("apply_range", self, other,
+                        lambda: self._apply_range_uncached(other))
+
+    def _apply_range_uncached(self, other: "BasicMap") -> "BasicMap":
         a, b = self._aligned_pair(other)
         if len(a.space.out_dims) != len(b.space.in_dims):
             raise ValueError("composition arity mismatch")
@@ -310,9 +322,17 @@ class BasicMap:
 
     # -- feasibility -------------------------------------------------------
 
+    def canonical_fingerprint(self) -> Tuple:
+        """Order- and duplicate-insensitive normal form of the constraint
+        system.  Two basic maps with equal fingerprints describe the same
+        solution set over their free variables (constraints normalise at
+        construction), which is exactly the invariant the process-wide
+        emptiness memo (:mod:`repro.isl.cache`) keys on."""
+        return tuple(sorted({c.canonical_key() for c in self.constraints}))
+
     def is_empty(self) -> bool:
-        from .omega import conjunction_is_empty
-        return conjunction_is_empty(self)
+        from .cache import is_empty_cached
+        return is_empty_cached(self)
 
     def is_rational_empty(self) -> bool:
         from .fourier_motzkin import rational_feasible
@@ -351,7 +371,10 @@ class BasicMap:
                 and set(self.constraints) == set(other.constraints))
 
     def __hash__(self) -> int:
-        return hash((self.space, self.n_div, frozenset(self.constraints)))
+        if self._hash is None:
+            self._hash = hash((self.space, self.n_div,
+                               frozenset(self.constraints)))
+        return self._hash
 
 
 class BasicSet(BasicMap):

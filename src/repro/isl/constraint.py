@@ -31,9 +31,11 @@ class Constraint:
         if g > 1:
             if kind == EQ:
                 if int(expr.const) % g != 0:
-                    # Equality with no integer solutions; keep it as-is so
-                    # feasibility checks report emptiness.
-                    pass
+                    # Equality with no integer solutions; dividing out the
+                    # *content* (which never divides the whole gcd here)
+                    # keeps it detectably infeasible while letting scaled
+                    # copies (4i = 6 vs 2i = 3) share one normal form.
+                    expr = expr.primitive()
                 else:
                     expr = LinExpr(
                         {d: int(c) // g for d, c in expr.coeffs.items()},
@@ -99,6 +101,18 @@ class Constraint:
 
     def remap(self, mapping: Mapping[Dim, Dim]) -> "Constraint":
         return Constraint(self.kind, self.expr.remap(mapping))
+
+    def canonical_key(self) -> tuple:
+        """The hashable, totally ordered normal form of this constraint.
+
+        Construction already normalises the expression (integer scaling,
+        gcd reduction with tightening, canonical equality sign), so the
+        key is just the structural content; the memo caches in
+        :mod:`repro.isl.cache` sort these keys to get an order- and
+        duplicate-insensitive fingerprint of a whole system.
+        """
+        return (self.kind, tuple(self.expr.coeffs.items()),
+                int(self.expr.const))
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, Constraint) and self.kind == other.kind

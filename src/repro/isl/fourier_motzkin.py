@@ -75,26 +75,51 @@ def eliminate_dims(constraints: Sequence[Constraint],
     return cons
 
 
+#: The canonical trivially-false system ``-1 >= 0``; ``_prune`` returns
+#: it whenever it proves the input infeasible outright.
+_FALSE_SYSTEM = [Constraint.ge(LinExpr.constant(-1))]
+
+
 def _prune(constraints: Sequence[Constraint]) -> List[Constraint]:
     """Drop tautologies and duplicates; keep the tightest of parallel
-    inequalities (same coefficients, different constants)."""
+    inequalities (same coefficients, different constants).
+
+    Constraints normalise at construction (gcd reduction with integer
+    tightening), so scaled duplicates like ``2i >= 2`` vs ``i >= 1``
+    arrive already keyed identically.  Two *contradictory* parallel
+    equalities (``i = 1`` and ``i = 2``), or opposed parallel
+    inequalities with a negative gap (``i >= 4`` and ``-i + 2 >= 0``),
+    short-circuit to the trivially-false system immediately instead of
+    surviving into the elimination loop.
+    """
     best: Dict[Tuple, Constraint] = {}
-    out: List[Constraint] = []
     for c in constraints:
         if c.is_trivially_true():
             continue
+        coeff_key = tuple(c.expr.coeffs.items())
         if c.kind == EQ:
-            key = (EQ, tuple(c.expr.coeffs.items()), c.expr.const)
-            if key not in best:
+            key = (EQ, coeff_key)
+            prev = best.get(key)
+            if prev is not None and prev.expr.const != c.expr.const:
+                return list(_FALSE_SYSTEM)
+            if prev is None:
                 best[key] = c
             continue
-        key = (GE, tuple(c.expr.coeffs.items()))
+        key = (GE, coeff_key)
         prev = best.get(key)
         # sum c_i x_i + k >= 0: smaller k is the tighter constraint.
         if prev is None or c.expr.const < prev.expr.const:
             best[key] = c
-    out = list(best.values())
-    return out
+    # Opposed parallel inequalities: e + a >= 0 and -e + b >= 0 bound
+    # -a <= e <= b, which is empty exactly when a + b < 0.
+    for (kind, coeff_key), c in best.items():
+        if kind != GE:
+            continue
+        neg_key = (GE, tuple((d, -v) for d, v in coeff_key))
+        other = best.get(neg_key)
+        if other is not None and c.expr.const + other.expr.const < 0:
+            return list(_FALSE_SYSTEM)
+    return list(best.values())
 
 
 def rational_feasible(constraints: Sequence[Constraint]) -> bool:
@@ -104,14 +129,22 @@ def rational_feasible(constraints: Sequence[Constraint]) -> bool:
         for c in cons:
             if c.is_trivially_false():
                 return False
-        dims = set()
+        # One pass builds the involvement counts (min-degree ordering) and
+        # the set of dims removable by equality substitution, which is
+        # linear instead of a quadratic lower x upper product.
+        counts: Dict[Dim, int] = {}
+        eq_dims = set()
         for c in cons:
-            dims.update(c.expr.dims())
-        if not dims:
+            for d in c.expr.dims():
+                counts[d] = counts.get(d, 0) + 1
+                if c.kind == EQ:
+                    eq_dims.add(d)
+        if not counts:
             return True
-        # Eliminate the dimension appearing in the fewest constraints to
-        # slow the quadratic blowup.
-        dim = min(dims, key=lambda d: sum(1 for c in cons if c.involves(d)))
+        if eq_dims:
+            dim = min(eq_dims, key=lambda d: counts[d])
+        else:
+            dim = min(counts, key=lambda d: counts[d])
         cons = eliminate_dim(cons, dim)
 
 

@@ -13,6 +13,7 @@ variables, matching ISL's unconstrained-parameter semantics).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,8 +31,94 @@ class OmegaBudgetExceeded(Exception):
     """Raised when the inequality system grows past the safety budget."""
 
 
+#: Decide rational feasibility (real-shadow-only FM on the reduced row
+#: system, no lattice solve, no splinters) before the expensive integer
+#: machinery and short-circuit when the rational relaxation is already
+#: empty (rational-empty implies integer-empty).  Module-level so the
+#: property tests can compare both paths.
+USE_RATIONAL_FASTPATH = True
+
+#: Gate the syntactic pre-filters (:func:`_prefilter_empty`) and the
+#: unit-coefficient Gaussian elimination; with all three flags off the
+#: module runs the original HNF-for-every-equality algorithm.  Kept
+#: reachable so property tests and the perf gate
+#: (benchmarks/test_isl_cache_perf.py) can compare old and new paths on
+#: the machine they run on.
+USE_PREFILTERS = True
+USE_UNIT_ELIMINATION = True
+
+
+@contextmanager
+def legacy_mode():
+    """Run a block with every hot-path shortcut off (pre-filters, unit
+    elimination, rational fast-path) — the pre-optimization algorithm."""
+    global USE_RATIONAL_FASTPATH, USE_PREFILTERS, USE_UNIT_ELIMINATION
+    saved = (USE_RATIONAL_FASTPATH, USE_PREFILTERS, USE_UNIT_ELIMINATION)
+    USE_RATIONAL_FASTPATH = USE_PREFILTERS = USE_UNIT_ELIMINATION = False
+    try:
+        yield
+    finally:
+        USE_RATIONAL_FASTPATH, USE_PREFILTERS, USE_UNIT_ELIMINATION = saved
+
+
+def _prefilter_empty(constraints) -> bool:
+    """Cheap syntactic emptiness checks run before the full Omega test.
+
+    Detects (a) any single trivially-false constraint, (b) contradictory
+    parallel equalities (``i = 1`` and ``i = 2`` share one coefficient
+    vector), and (c) an empty intersection of single-variable bounds
+    (``i >= 4`` and ``i <= 2``).  Sound both ways: a ``True`` here means
+    the integer set is certainly empty; ``False`` decides nothing.
+    """
+    from repro.obs.metrics import metrics
+    eq_consts: Dict[Tuple, int] = {}
+    lo: Dict[Dim, int] = {}
+    hi: Dict[Dim, int] = {}
+
+    def bounded_empty(d: Dim) -> bool:
+        return d in lo and d in hi and lo[d] > hi[d]
+
+    for c in constraints:
+        if c.is_trivially_false():
+            metrics.counter("isl.empty.prefilter_trivial").inc()
+            return True
+        coeffs = c.expr.coeffs
+        const = int(c.expr.const)
+        if c.kind == EQ:
+            key = tuple(coeffs.items())
+            prev = eq_consts.setdefault(key, const)
+            if prev != const:
+                metrics.counter("isl.empty.prefilter_eq_clash").inc()
+                return True
+        if len(coeffs) != 1:
+            continue
+        (dim, coeff), = coeffs.items()
+        coeff = int(coeff)
+        if c.kind == EQ:
+            if abs(coeff) != 1:
+                continue  # non-divisible const was already caught above
+            val = -const * coeff
+            lo[dim] = max(lo.get(dim, val), val)
+            hi[dim] = min(hi.get(dim, val), val)
+        elif coeff > 0:
+            # coeff*d + const >= 0  =>  d >= ceil(-const/coeff)
+            bound = -(const // coeff)
+            lo[dim] = max(lo.get(dim, bound), bound)
+        else:
+            # d <= floor(const/(-coeff))
+            bound = const // (-coeff)
+            hi[dim] = min(hi.get(dim, bound), bound)
+        if bounded_empty(dim):
+            metrics.counter("isl.empty.prefilter_bounds").inc()
+            return True
+    return False
+
+
 def conjunction_is_empty(bmap) -> bool:
     """True iff the basic map has no integer points (exact)."""
+    if USE_PREFILTERS and _prefilter_empty(bmap.constraints):
+        return True
+
     var_ids: Dict[Dim, int] = {}
 
     def vid(dim: Dim) -> int:
@@ -66,7 +153,19 @@ def _n_vars(rows: Sequence[Row]) -> int:
 
 
 def _feasible(eqs: List[Row], ineqs: List[Row]) -> bool:
+    if eqs and USE_UNIT_ELIMINATION:
+        reduced = _eliminate_unit_equalities(eqs, ineqs)
+        if reduced is None:
+            return False
+        eqs, ineqs = reduced
     if eqs:
+        # Only equalities whose every coefficient is >= 2 in magnitude are
+        # left; those need the full Hermite-normal-form lattice solve —
+        # unless even the rational relaxation is already empty.
+        if USE_RATIONAL_FASTPATH and not _rational_rows_feasible(eqs, ineqs):
+            from repro.obs.metrics import metrics
+            metrics.counter("isl.empty.rational_fastpath").inc()
+            return False
         reduced = _eliminate_equalities(eqs, ineqs,
                                         _n_vars(eqs) if not ineqs
                                         else max(_n_vars(eqs), _n_vars(ineqs)))
@@ -74,6 +173,161 @@ def _feasible(eqs: List[Row], ineqs: List[Row]) -> bool:
             return False
         ineqs, _ = reduced
     return _ineq_feasible(ineqs)
+
+
+def _rational_rows_feasible(eqs: List[Row], ineqs: List[Row]) -> bool:
+    """Feasibility of the real relaxation of the row system.
+
+    Equalities are substituted exactly by cross-multiplication, then the
+    pure inequality system runs Fourier-Motzkin with the real shadow
+    only (no dark shadow, no splinter enumeration, no lattice solve).
+    One-sided: a ``False`` here proves the *integer* system empty too;
+    ``True`` decides nothing about integer feasibility.
+    """
+    work = [(dict(c), k) for c, k in eqs]
+    ineqs = [(dict(c), k) for c, k in ineqs]
+    while work:
+        coeffs, const = work.pop()
+        coeffs = {v: c for v, c in coeffs.items() if c}
+        if not coeffs:
+            if const != 0:
+                return False
+            continue
+        var, a = min(coeffs.items(), key=lambda vc: abs(vc[1]))
+        sign = 1 if a > 0 else -1
+        rest = ({v: c for v, c in coeffs.items() if v != var}, const)
+
+        def subst(row: Row) -> Row:
+            # a*var + e = 0 and c*var + f (op) 0:
+            # scale by |a| > 0 and substitute: |a|*f - sign(a)*c*e (op) 0.
+            c = row[0].get(var, 0)
+            if not c:
+                return row
+            out = {v: abs(a) * q for v, q in row[0].items() if v != var}
+            for v, q in rest[0].items():
+                val = out.get(v, 0) - sign * c * q
+                if val:
+                    out[v] = val
+                else:
+                    out.pop(v, None)
+            return (out, abs(a) * row[1] - sign * c * rest[1])
+
+        work = [subst(r) for r in work]
+        ineqs = [subst(r) for r in ineqs]
+    try:
+        return _ineq_feasible(ineqs, rational=True)
+    except OmegaBudgetExceeded:
+        return True  # undecided: fall through to the integer machinery
+
+
+def _subst_row(row: Row, var: int, sub: Row) -> Row:
+    """Replace ``var`` in ``row`` by the affine expression ``sub``."""
+    coeffs, const = row
+    a = coeffs.get(var, 0)
+    if not a:
+        return row
+    out = {v: c for v, c in coeffs.items() if v != var}
+    sub_coeffs, sub_const = sub
+    for v, c in sub_coeffs.items():
+        val = out.get(v, 0) + a * c
+        if val:
+            out[v] = val
+        else:
+            out.pop(v, None)
+    return (out, const + a * sub_const)
+
+
+def _eliminate_unit_equalities(eqs: List[Row], ineqs: List[Row]
+                               ) -> Optional[Tuple[List[Row], List[Row]]]:
+    """Gaussian elimination of equalities with a +-1 coefficient.
+
+    The schedule and access relations of polyhedral compilation are almost
+    entirely unit-coefficient equalities (``o_k - i_k = 0``), so exact
+    back-substitution resolves them at a fraction of the cost of the
+    Hermite-normal-form lattice solve, which stays as the fallback for
+    genuinely non-unit systems.  Returns ``(remaining_eqs, ineqs)`` or
+    ``None`` when a contradiction (constant or divisibility) surfaces.
+    """
+    # Rows live in an id-indexed table with a per-variable occurrence
+    # index, so each substitution touches only the rows that actually
+    # contain the eliminated variable (the systems here are sparse: a
+    # schedule equality involves 2-3 of dozens of variables).
+    rows: Dict[int, Tuple[Row, bool]] = {}
+    occurs: Dict[int, set] = {}
+    pending: List[int] = []
+
+    def _index(rid: int, row: Row, is_eq: bool) -> None:
+        rows[rid] = (row, is_eq)
+        for v in row[0]:
+            occurs.setdefault(v, set()).add(rid)
+
+    rid = 0
+    for coeffs, const in eqs:
+        _index(rid, ({v: c for v, c in coeffs.items() if c}, const), True)
+        pending.append(rid)
+        rid += 1
+    for coeffs, const in ineqs:
+        _index(rid, ({v: c for v, c in coeffs.items() if c}, const), False)
+        rid += 1
+
+    def _unindex(tid: int) -> None:
+        row, _ = rows.pop(tid)
+        for v in row[0]:
+            ids = occurs.get(v)
+            if ids is not None:
+                ids.discard(tid)
+
+    while pending:
+        tid = pending.pop()
+        if tid not in rows:
+            continue
+        (coeffs, const), is_eq = rows[tid]
+        if not is_eq:
+            continue
+        if not coeffs:
+            if const != 0:
+                return None
+            _unindex(tid)
+            continue
+        g = 0
+        for c in coeffs.values():
+            g = gcd(g, abs(c))
+        if g > 1:
+            if const % g != 0:
+                return None
+            coeffs = {v: c // g for v, c in coeffs.items()}
+            const //= g
+            rows[tid] = ((coeffs, const), True)
+        unit = None
+        for v, c in coeffs.items():
+            if c in (1, -1):
+                unit = (v, c)
+                break
+        if unit is None:
+            continue  # stays as residual unless a later subst touches it
+        var, c = unit
+        _unindex(tid)
+        # c*var + rest + const = 0  =>  var = -c*(rest + const)  (c = +-1)
+        sub: Row = ({v: -c * a for v, a in coeffs.items() if v != var},
+                    -c * const)
+        for oid in list(occurs.pop(var, ())):
+            old_row, old_is_eq = rows[oid]
+            new_row = _subst_row(old_row, var, sub)
+            for v in old_row[0]:
+                if v != var and v not in new_row[0]:
+                    occurs[v].discard(oid)
+            for v in new_row[0]:
+                if v not in old_row[0]:
+                    occurs.setdefault(v, set()).add(oid)
+            rows[oid] = (new_row, old_is_eq)
+            if old_is_eq:
+                pending.append(oid)
+
+    out_eqs: List[Row] = []
+    out_ineqs: List[Row] = []
+    for row, is_eq in rows.values():
+        (out_eqs if is_eq else out_ineqs).append(row)
+    return out_eqs, out_ineqs
 
 
 def _eliminate_equalities(eqs: List[Row], ineqs: List[Row], n_vars: int
@@ -117,7 +371,8 @@ def _normalize(row: Row) -> Optional[Row]:
     return (coeffs, const)
 
 
-def _ineq_feasible(ineqs: List[Row], depth: int = 0) -> bool:
+def _ineq_feasible(ineqs: List[Row], depth: int = 0,
+                   rational: bool = False) -> bool:
     # Normalize, dedupe, keep tightest of parallel constraints.
     tight: Dict[Tuple, int] = {}
     for row in ineqs:
@@ -204,8 +459,10 @@ def _ineq_feasible(ineqs: List[Row], depth: int = 0) -> bool:
                 rows.append((coeffs, const))
         return rows
 
-    if exact:
-        return _ineq_feasible(combine(0), depth + 1)
+    if exact or rational:
+        # Unit-coefficient elimination is integer-exact; in rational mode
+        # the real shadow alone is the answer by definition.
+        return _ineq_feasible(combine(0), depth + 1, rational)
 
     if not _ineq_feasible(combine(0), depth + 1):
         return False  # real shadow empty => no rational point at all

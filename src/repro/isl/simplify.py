@@ -21,7 +21,17 @@ def _implied(system: Sequence[Constraint], c: Constraint) -> bool:
 
 
 def remove_redundant(bmap: BasicMap) -> BasicMap:
-    """Drop constraints implied by the remaining ones."""
+    """Drop constraints implied by the remaining ones.
+
+    Deterministic on the input structure, so the result is memoized in
+    the process-wide composition cache (codegen calls this on the same
+    iteration domains every compile)."""
+    from .cache import composed
+    return composed("remove_redundant", bmap, None,
+                    lambda: _remove_redundant_uncached(bmap))
+
+
+def _remove_redundant_uncached(bmap: BasicMap) -> BasicMap:
     kept: List[Constraint] = []
     cons = list(bmap.constraints)
     # De-duplicate first.
@@ -40,7 +50,14 @@ def remove_redundant(bmap: BasicMap) -> BasicMap:
 
 def gist(bmap: BasicMap, context: BasicMap) -> BasicMap:
     """Simplify ``bmap`` under the assumption that ``context`` holds:
-    drop constraints of ``bmap`` implied by ``context`` + the rest."""
+    drop constraints of ``bmap`` implied by ``context`` + the rest.
+    Memoized like :func:`remove_redundant`."""
+    from .cache import composed
+    return composed("gist", bmap, context,
+                    lambda: _gist_uncached(bmap, context))
+
+
+def _gist_uncached(bmap: BasicMap, context: BasicMap) -> BasicMap:
     params = bmap.space.aligned_params(context.space)
     bmap = bmap.align_params(params)
     context = context.align_params(params)

@@ -182,6 +182,20 @@ class Map:
     def __iter__(self):
         return iter(self.pieces)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality, consistent with ``BasicMap.__eq__``: same
+        space and the same *set* of pieces (order- and duplicate-
+        insensitive, like the per-piece constraint comparison).  Note
+        this is finer than :meth:`is_equal`, which compares the
+        mathematical point sets; two structurally different descriptions
+        of one set are ``is_equal`` but not ``==``."""
+        return (isinstance(other, Map)
+                and self.space == other.space
+                and frozenset(self.pieces) == frozenset(other.pieces))
+
+    def __hash__(self) -> int:
+        return hash((self.space, frozenset(self.pieces)))
+
 
 class Set(Map):
     """A union of basic sets."""

@@ -21,6 +21,13 @@ Fault tolerance (docs/robustness.md) adds failure-path counters:
 ``dist.messages_dropped`` / ``dist.messages_corrupted`` from the
 distributed simulator; and ``cache.corruption_misses`` from the
 digest-verifying compile cache.
+
+The polyhedral layer (:mod:`repro.isl.cache`, docs/ir_layers.md) counts
+its memo caches and Omega-test short-circuits here too:
+``isl.empty_cache.hits`` / ``.misses`` / ``.size`` (gauge),
+``isl.compose_cache.hits`` / ``.misses`` / ``.size``, and
+``isl.empty.prefilter_trivial`` / ``prefilter_eq_clash`` /
+``prefilter_bounds`` / ``rational_fastpath``.
 """
 
 from __future__ import annotations

@@ -52,6 +52,18 @@ def test_omega_matches_bruteforce(bset):
     assert bset.is_empty() == brute_force_empty(bset)
 
 
+@given(bounded_random_sets())
+@settings(max_examples=80, deadline=None)
+def test_fast_paths_agree_with_legacy_algorithm(bset):
+    """Pre-filters, unit elimination and the rational fast-path must
+    never change an answer: the optimized pipeline and the original
+    HNF-for-every-equality algorithm agree on random systems."""
+    from repro.isl.omega import conjunction_is_empty, legacy_mode
+    fast = conjunction_is_empty(bset)
+    with legacy_mode():
+        assert conjunction_is_empty(bset) == fast
+
+
 @st.composite
 def strided_sets(draw):
     """Sets with existential dims: i = s*e + r patterns."""
@@ -113,3 +125,83 @@ class TestKnownCases:
         # i' < i — must be empty.
         s = parse_set("{ [i, ip] : ip = i + 1 and ip <= i - 1 }")
         assert s.is_empty()
+
+
+class TestPrefilters:
+    """The cheap pre-filters in conjunction_is_empty must agree with the
+    full Omega test; these cases exercise each filter's trigger."""
+
+    def test_single_variable_bound_clash(self):
+        # lo > hi on one variable — caught by the bound-intersection scan.
+        s = parse_set("{ [i] : i >= 5 and i <= 3 }")
+        assert s.is_empty()
+
+    def test_single_variable_bound_ok(self):
+        s = parse_set("{ [i] : i >= 3 and i <= 5 }")
+        assert not s.is_empty()
+
+    def test_parallel_equality_clash(self):
+        s = parse_set("{ [i,j] : i + j = 1 and i + j = 2 }")
+        assert s.is_empty()
+
+    def test_scaled_parallel_equality_clash(self):
+        # 2(i+j) = 2 and 3(i+j) = 6 normalise to i+j = 1 vs i+j = 2.
+        s = parse_set("{ [i,j] : 2i + 2j = 2 and 3i + 3j = 6 }")
+        assert s.is_empty()
+
+    def test_equality_pins_outside_bounds(self):
+        # i = 7 (unit equality contributes to the bound scan) vs i <= 5.
+        s = parse_set("{ [i] : i = 7 and i <= 5 }")
+        assert s.is_empty()
+
+    def test_prefilter_counters_advance(self):
+        from repro.obs.metrics import metrics
+        from repro.isl import isl_cache_clear
+        isl_cache_clear()
+        before = metrics.counter("isl.empty.prefilter_bounds").value
+        parse_set("{ [i] : i >= 9 and i <= 1 }").is_empty()
+        assert metrics.counter("isl.empty.prefilter_bounds").value \
+            == before + 1
+
+
+class TestRationalFastPath:
+    """The row-level rational fast-path (real-shadow FM before the HNF
+    lattice solve) may only ever short-circuit to "empty" — it must
+    never disagree with the full integer test."""
+
+    def test_flag_off_agrees(self):
+        from repro.isl import omega
+        from repro.isl import isl_cache_clear
+        cases = [
+            "{ [x,y] : 2x + 4y = 1 }",
+            "{ [x,y] : 3x + 5y = 7 }",
+            "{ [x,y] : 2x + 3y = 5 and x >= 10 and y >= 10 }",
+            "{ [x,y] : 27 <= 11x + 13y and 11x + 13y <= 45 "
+            "and -10 <= 7x - 9y and 7x - 9y <= 4 }",
+        ]
+        for text in cases:
+            isl_cache_clear()
+            with_fastpath = parse_set(text).is_empty()
+            saved = omega.USE_RATIONAL_FASTPATH
+            omega.USE_RATIONAL_FASTPATH = False
+            try:
+                isl_cache_clear()
+                without = parse_set(text).is_empty()
+            finally:
+                omega.USE_RATIONAL_FASTPATH = saved
+            assert with_fastpath == without, text
+
+    @given(st.integers(-4, 4), st.integers(-4, 4), st.integers(-8, 8),
+           st.integers(-4, 4), st.integers(-4, 4), st.integers(-8, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_random_two_equality_systems(self, a1, b1, c1, a2, b2, c2):
+        """Systems with non-unit equalities route through the fast-path
+        guard before HNF; brute force is the ground truth."""
+        from repro.isl import isl_cache_clear
+        isl_cache_clear()
+        box = ("-6 <= x <= 6 and -6 <= y <= 6")
+        s = parse_set(f"{{ [x,y] : {a1}x + {b1}y = {c1} and "
+                      f"{a2}x + {b2}y = {c2} and {box} }}")
+        found = any(a1 * x + b1 * y == c1 and a2 * x + b2 * y == c2
+                    for x in range(-6, 7) for y in range(-6, 7))
+        assert s.is_empty() == (not found)

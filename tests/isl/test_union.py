@@ -104,3 +104,51 @@ class TestMapUnions:
         assert s.is_empty()
         u = s.union(parse_set("{ [i] : i = 0 }"))
         assert not u.is_empty()
+
+
+class TestStructuralEquality:
+    """Union-level __eq__/__hash__, consistent with BasicMap's: same
+    space plus the same *set* of pieces."""
+
+    def test_parsed_twice_equal_and_hash_equal(self):
+        a = parse_set("{ [i] : 0 <= i < 10 }")
+        b = parse_set("{ [i] : 0 <= i < 10 }")
+        assert a == b
+        assert hash(a) == hash(b)
+        m1 = parse_map("{ [i] -> [i + 1] : 0 <= i < 5 }")
+        m2 = parse_map("{ [i] -> [i + 1] : 0 <= i < 5 }")
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_piece_order_insensitive(self):
+        a = parse_set("{ [i] : 0 <= i < 3; [i] : 10 <= i < 13 }")
+        b = parse_set("{ [i] : 10 <= i < 13; [i] : 0 <= i < 3 }")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_rescaled_constraints_equal(self):
+        # Constraints normalise at construction, so scaled duplicates of
+        # one conjunction are structurally identical.
+        a = parse_set("{ [i] : 2i >= 0 and 3i <= 12 }")
+        b = parse_set("{ [i] : i >= 0 and i <= 4 }")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_structural_finer_than_is_equal(self):
+        a = parse_set("{ [i] : 0 <= i <= 9 }")
+        b = parse_set("{ [i] : 0 <= i < 4 or 4 <= i <= 9 }")
+        assert a.is_equal(b)
+        assert a != b  # different piece structure
+
+    def test_usable_as_dict_key(self):
+        table = {}
+        table[parse_map("{ [i] -> [i] }")] = "identity"
+        table[parse_map("{ [i] -> [i + 1] }")] = "shift"
+        assert table[parse_map("{ [i] -> [i] }")] == "identity"
+        assert table[parse_map("{ [i] -> [i + 1] }")] == "shift"
+        assert len({parse_set("{ [i] : i = 0 }"),
+                    parse_set("{ [i] : i = 0 }")}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert parse_set("{ [i] : i = 0 }") != "{ [i] : i = 0 }"
+        assert parse_set("{ [i] : i = 0 }") != parse_set("{ [i] : i = 1 }")

@@ -88,6 +88,34 @@ def test_backward_shift_fusion_always_legal(shift):
     assert np.allclose(out[4:], (np.arange(4, 32) - shift) * 2.0)
 
 
+@given(st.integers(-3, 3), st.integers(-3, 3),
+       st.sampled_from(["fuse_ba", "fuse_cb", "fuse_all", "reverse"]))
+@settings(max_examples=25, deadline=None)
+def test_legality_verdict_independent_of_isl_cache(shift1, shift2, action):
+    """The ISL memo caches must be invisible to the checker: the same
+    schedule gets the same verdict with memoization on and off."""
+    from repro.isl import isl_cache_clear, isl_cache_disabled
+
+    def verdict():
+        f, a, b, c, _ = build_chain(16, shift1, shift2)
+        if action in ("fuse_ba", "fuse_all"):
+            b.after(a, "ia")
+        if action in ("fuse_cb", "fuse_all"):
+            c.after(b, "ib")
+        if action == "reverse":
+            a.after(c)
+        try:
+            f.check_legality()
+            return "legal"
+        except IllegalScheduleError:
+            return "illegal"
+
+    isl_cache_clear()
+    cached = verdict()
+    with isl_cache_disabled():
+        assert verdict() == cached
+
+
 @given(st.integers(1, 3))
 @settings(max_examples=20, deadline=None)
 def test_forward_shift_fusion_always_illegal(shift):
