@@ -385,6 +385,9 @@ class CBackend(Backend):
 
     name = "c"
     extra_options = {"extra_flags": ()}
+    # bind() recompiles ctx.source with gcc; nothing emit-time survives
+    # it, so stored source is a complete artifact.
+    bind_from_source = True
 
     def emit(self, ctx) -> str:
         if not have_c_compiler():
@@ -405,8 +408,9 @@ def compile_c(fn: Function, check_legality: bool = False,
     (prefer ``fn.compile("c")``)."""
     import warnings
     warnings.warn(
-        'compile_c() is deprecated; use Function.compile("c") — the one '
-        "staged-driver entry point", DeprecationWarning, stacklevel=2)
+        'compile_c() is deprecated and will be removed in release 2.0; '
+        'use Function.compile("c") / repro.driver.compile_function (or '
+        "compile_batch for many kernels)", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="c", check_legality=check_legality,
                             verbose=verbose, extra_flags=tuple(extra_flags),

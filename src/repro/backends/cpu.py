@@ -172,6 +172,9 @@ class CpuBackend(Backend):
 
     name = "cpu"
     parallel_execution = True
+    # bind() only exec()s ctx.source against ctx.fn, so kernels rebuild
+    # from stored source: eligible for the disk tier and batch offload.
+    bind_from_source = True
 
     def emit(self, ctx) -> str:
         return emit_source(ctx.fn, ast=ctx.ast,
@@ -202,8 +205,9 @@ def compile_cpu(fn: Function, check_legality: bool = False,
     """Deprecated shim: compile for the CPU target through the staged
     driver (prefer ``fn.compile("cpu")``)."""
     warnings.warn(
-        'compile_cpu() is deprecated; use Function.compile("cpu") — the '
-        "one staged-driver entry point", DeprecationWarning, stacklevel=2)
+        'compile_cpu() is deprecated and will be removed in release 2.0; '
+        'use Function.compile("cpu") / repro.driver.compile_function (or '
+        "compile_batch for many kernels)", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="cpu", check_legality=check_legality,
                             verbose=verbose, **opts)

@@ -420,6 +420,9 @@ class DistributedBackend(Backend):
     """The simulated MPI target: rank-conditional emission, exec binding."""
 
     name = "distributed"
+    # bind() exec()s ctx.source; rank/launch state lives in the source
+    # itself, so stored artifacts rebind cleanly.
+    bind_from_source = True
 
     def emit(self, ctx) -> str:
         return emit_source(ctx.fn, emitter_cls=DistEmitter, ast=ctx.ast)
@@ -438,9 +441,10 @@ def compile_distributed(fn: Function, check_legality: bool = False,
     target through the staged driver (prefer ``fn.compile("distributed")``)."""
     import warnings
     warnings.warn(
-        'compile_distributed() is deprecated; use '
-        'Function.compile("distributed") — the one staged-driver entry '
-        "point", DeprecationWarning, stacklevel=2)
+        'compile_distributed() is deprecated and will be removed in '
+        'release 2.0; use Function.compile("distributed") / '
+        "repro.driver.compile_function (or compile_batch for many "
+        "kernels)", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="distributed",
                             check_legality=check_legality, verbose=verbose,

@@ -28,7 +28,7 @@ from repro.core.function import Function
 from repro.driver.registry import Backend, register_backend
 
 from .cpu import (CompiledKernel, _bind_python_kernel, collect_buffers,
-                  compile_cpu, emit_source)
+                  emit_source)
 
 
 @dataclass
@@ -138,8 +138,9 @@ def compile_gpu(fn: Function, check_legality: bool = False,
     staged driver (prefer ``fn.compile("gpu")``)."""
     import warnings
     warnings.warn(
-        'compile_gpu() is deprecated; use Function.compile("gpu") — the '
-        "one staged-driver entry point", DeprecationWarning, stacklevel=2)
+        'compile_gpu() is deprecated and will be removed in release 2.0; '
+        'use Function.compile("gpu") / repro.driver.compile_function (or '
+        "compile_batch for many kernels)", DeprecationWarning, stacklevel=2)
     from repro.driver import compile_function
     return compile_function(fn, target="gpu", check_legality=check_legality,
                             verbose=verbose, **opts)

@@ -158,6 +158,11 @@ def _exec_chunk(digest: str, source: str, body_name: str, specs,
 
 
 # -- pool management ---------------------------------------------------------
+#
+# The cached process pools are deliberately generic: the parallel
+# runtime dispatches loop chunks on them, and the batch compile front
+# end (repro.driver.batch) dispatches whole source compiles on the same
+# machinery — one warm fork pool per worker count, shared process-wide.
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
 _POOL_UNAVAILABLE = False
@@ -169,13 +174,36 @@ def _mp_context():
         "fork" if "fork" in methods else methods[0])
 
 
-def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+def _ensure_resource_tracker() -> None:
+    """Spawn the shared-memory resource tracker *before* forking workers.
+
+    Fork children inherit the parent's tracker connection.  If the first
+    pool is forked before this process ever created a SharedMemory
+    segment (the batch compile front end warms a pool without touching
+    shared memory), each worker would lazily spawn its own *private*
+    tracker on first segment attach — and a private tracker unlinks
+    every segment its worker registered the moment that worker dies,
+    yanking live staging buffers out from under the parent's retry
+    logic.  Starting the parent's tracker first makes every worker
+    register with the shared, parent-lifetime tracker instead.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+def get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """The cached process pool for ``workers``, building (and caching)
+    it on first use; None when this host cannot run a pool at all."""
     global _POOL_UNAVAILABLE
     if _POOL_UNAVAILABLE:
         return None
     pool = _POOLS.get(workers)
     if pool is None:
         try:
+            _ensure_resource_tracker()
             pool = ProcessPoolExecutor(max_workers=workers,
                                        mp_context=_mp_context())
         except (OSError, ValueError, NotImplementedError):
@@ -185,9 +213,9 @@ def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
     return pool
 
 
-def _discard_pool(workers: int) -> None:
+def discard_pool(workers: int) -> None:
     """Drop (and kill) the cached pool for ``workers`` so the next
-    ``_get_pool`` builds a fresh one.  Workers are terminated rather
+    ``get_pool`` builds a fresh one.  Workers are terminated rather
     than joined: a crashed pool's survivors are in an unknown state and
     a hung worker would otherwise keep writing to shared buffers after
     its region has been retried."""
@@ -204,6 +232,12 @@ def _discard_pool(workers: int) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
     except (OSError, RuntimeError):
         pass
+
+
+# Pre-generalization names (the runtime below and existing callers used
+# the underscore forms).
+_get_pool = get_pool
+_discard_pool = discard_pool
 
 
 def shutdown_pools() -> None:

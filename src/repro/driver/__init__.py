@@ -9,34 +9,67 @@ the :class:`Backend` registry, skips straight to a cached kernel when
 the function's :func:`ir_fingerprint` is unchanged, and attaches a
 per-stage :class:`CompileReport` to every kernel (``TIRAMISU_TRACE=1``
 prints the stage table).
+
+Compile-as-a-service surface:
+
+* :func:`compile_function` — the one-kernel entry point.
+* :func:`compile_batch` / :class:`BatchCompiler` — the batch and async
+  front end (:mod:`repro.driver.batch`): dedup by fingerprint, worker
+  pool for distinct cold compiles, reports as they complete.
+* :class:`DiskCache` (:mod:`repro.driver.diskcache`) — the durable
+  on-disk artifact tier under the in-memory registry; activate with
+  ``TIRAMISU_CACHE_DIR`` or :func:`configure_disk_cache`.
+* :class:`CacheStats` / :class:`CacheStatsGroup`
+  (:mod:`repro.driver.stats`) — the one vocabulary every cache tier
+  (memory, disk, isl.empty, isl.compose) reports in.
 """
 
+from .batch import (BatchCompiler, BatchStats, CompileHandle,
+                    CompileRequest, compile_batch)
 from .cache import CacheEntry, CompileCache, kernel_registry
 from .context import CompileContext
+from .diskcache import DiskCache, DiskEntry, active_disk_cache
+from .diskcache import configure as configure_disk_cache
+from .diskcache import reset_configuration as reset_disk_cache_configuration
 from .fingerprint import ir_fingerprint
-from .pipeline import BASE_OPTIONS, CompilePipeline, compile_function
+from .pipeline import (BASE_OPTIONS, CompilePipeline, compile_function,
+                       compile_to_source)
 from .registry import (Backend, UnknownTargetError, get_backend,
                        register_backend, registered_targets)
+from .stats import CacheStats, CacheStatsGroup
 from .trace import (CompileReport, StageTiming, emit_trace, set_trace,
                     trace_enabled, traced)
 
 __all__ = [
     "BASE_OPTIONS",
     "Backend",
+    "BatchCompiler",
+    "BatchStats",
     "CacheEntry",
+    "CacheStats",
+    "CacheStatsGroup",
     "CompileCache",
     "CompileContext",
+    "CompileHandle",
     "CompilePipeline",
     "CompileReport",
+    "CompileRequest",
+    "DiskCache",
+    "DiskEntry",
     "StageTiming",
     "UnknownTargetError",
+    "active_disk_cache",
+    "compile_batch",
     "compile_function",
+    "compile_to_source",
+    "configure_disk_cache",
     "emit_trace",
     "get_backend",
     "ir_fingerprint",
     "kernel_registry",
     "register_backend",
     "registered_targets",
+    "reset_disk_cache_configuration",
     "set_trace",
     "trace_enabled",
     "traced",

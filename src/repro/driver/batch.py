@@ -1,0 +1,409 @@
+"""Concurrent batch compilation: submit many kernels, compile each
+distinct one once, across a worker pool.
+
+The autoscheduler search loop, the benchmark harness, and any service
+front end share one traffic shape: N compile requests, many of them
+duplicates, where only the distinct fingerprints deserve real work.
+This module is the front end for that shape:
+
+* :func:`compile_batch` — the one-shot form: hand it an iterable of
+  functions (or :class:`CompileRequest`\\ s), get the kernels back in
+  request order, duplicates deduplicated by
+  :func:`~repro.driver.fingerprint.ir_fingerprint` so an N-duplicate
+  batch costs ~1 compile.
+* :class:`BatchCompiler` — the async form: ``submit()`` returns a
+  :class:`CompileHandle` immediately; ``handle.result()`` blocks for
+  the kernel; ``as_completed()`` yields handles (and their
+  :class:`~repro.driver.trace.CompileReport`\\ s) as compiles finish.
+
+Distinct cold compiles run their heavy stages (legality through emit)
+inside the cached fork pool of :mod:`repro.backends.parallel` — the
+same machinery that executes parallel loop chunks — via
+:func:`repro.driver.pipeline.compile_to_source`; the parent then binds
+the shipped source with
+:meth:`~repro.driver.pipeline.CompilePipeline.run_precompiled` and
+publishes the artifact to the memory and disk cache tiers.  Warm
+requests (memory or disk hit) never leave the parent.  The parallel
+runtime's fault-tolerance options apply to compile dispatch too: a
+worker crash or a compile missing its ``timeout`` is retried on a
+fresh pool up to ``max_retries`` times, after which
+``on_worker_failure`` picks the endgame (``"fallback"`` compiles
+inline in the parent, ``"retry"`` raises after the last attempt,
+``"raise"`` fails on the first).  Deterministic compile errors — an
+illegal schedule, a bad option — are application errors: they are
+never retried and surface on ``result()`` for every handle of that
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import as_completed as _futures_as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.errors import WorkerFailureError
+
+from .pipeline import CompilePipeline, compile_to_source
+from .registry import get_backend
+
+#: Backoff before a retried worker compile (doubles per attempt),
+#: mirroring ParallelRuntime.retry_backoff.
+RETRY_BACKOFF = 0.05
+
+
+def _compile_source_job(fn, target: str, options: Dict[str, object]):
+    """What a pool worker runs: the heavy pipeline stages, returning a
+    picklable artifact for the parent to bind."""
+    return compile_to_source(fn, target, **options)
+
+
+@dataclass
+class CompileRequest:
+    """One batch item: a function, an optional per-item target, and
+    per-item compile options (merged over the batch-wide ones)."""
+
+    fn: object
+    target: Optional[str] = None
+    options: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class BatchStats:
+    """What one batch actually did — the dedup/warmth ledger."""
+
+    submitted: int = 0          # handles issued
+    deduplicated: int = 0       # submits coalesced onto an existing job
+    memory_hits: int = 0        # jobs served by the in-process registry
+    disk_hits: int = 0          # jobs served by the on-disk tier
+    compiled: int = 0           # jobs that ran the heavy stages
+    worker_compiles: int = 0    # ... in a pool worker process
+    inline_compiles: int = 0    # ... inline in the parent
+    worker_failures: int = 0    # infrastructure failures observed
+    retries: int = 0            # compile dispatches retried
+    pool_restarts: int = 0      # broken pools discarded and rebuilt
+    fallbacks: int = 0          # worker paths degraded to inline
+
+
+class _Job:
+    """One distinct fingerprint's compile; every duplicate handle
+    attaches here."""
+
+    def __init__(self, fingerprint: str, fn, target: str,
+                 options: Dict[str, object],
+                 normalized: Dict[str, object]):
+        self.fingerprint = fingerprint
+        self.fn = fn
+        self.target = target
+        self.options = options          # raw, re-normalized by the pipeline
+        self.normalized = normalized
+        self.future: Future = Future()
+        self.handles: List["CompileHandle"] = []
+
+
+class CompileHandle:
+    """The async side of one ``submit()``: poll with :meth:`done`,
+    block with :meth:`result`.  Duplicate submissions share one job, so
+    their kernels — and reports — are the same objects."""
+
+    def __init__(self, job: _Job, request: CompileRequest):
+        self._job = job
+        self.request = request
+
+    @property
+    def fingerprint(self) -> str:
+        return self._job.fingerprint
+
+    @property
+    def target(self) -> str:
+        return self._job.target
+
+    def done(self) -> bool:
+        return self._job.future.done()
+
+    def result(self, timeout: Optional[float] = None):
+        """The compiled kernel (with its ``report``); re-raises the
+        compile's error if it failed."""
+        return self._job.future.result(timeout=timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        return self._job.future.exception(timeout=timeout)
+
+    @property
+    def report(self):
+        """The finished compile's :class:`CompileReport` (None while
+        the compile is still in flight or if it failed)."""
+        if not self._job.future.done() \
+                or self._job.future.exception() is not None:
+            return None
+        return getattr(self._job.future.result(), "report", None)
+
+
+class BatchCompiler:
+    """The submit()/result() front end over the staged pipeline.
+
+    ``max_workers`` bounds both the coordinating threads and the size
+    of the shared compile process pool (default: every core).
+    ``use_processes`` forces the worker-pool path on (True) or off
+    (False); the default (None) offloads exactly the cold compiles of
+    backends that can rebind from source.  Batch-wide compile options
+    (``check_legality=True``, ``timeout=...``, ...) apply to every
+    submit and merge under per-submit overrides."""
+
+    def __init__(self, target: str = "cpu",
+                 max_workers: Optional[int] = None,
+                 use_processes: Optional[bool] = None,
+                 **default_options):
+        from repro.backends.parallel import resolve_num_threads
+        self.target = target
+        self.workers = resolve_num_threads(max_workers)
+        self.use_processes = use_processes
+        self.default_options = dict(default_options)
+        self.stats = BatchStats()
+        self._pipelines: Dict[str, CompilePipeline] = {}
+        self._jobs: Dict[str, _Job] = {}
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="tiramisu-batch")
+        self._bind_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._shut_down = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "BatchCompiler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=exc == (None, None, None))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submits and (optionally) wait for in-flight
+        compiles.  The shared process pools stay warm for the next
+        batch — they are process-wide machinery, not this batch's."""
+        self._shut_down = True
+        self._threads.shutdown(wait=wait)
+
+    # -- submission -----------------------------------------------------
+
+    def _pipeline(self, target: str) -> CompilePipeline:
+        pipe = self._pipelines.get(target)
+        if pipe is None:
+            pipe = CompilePipeline(get_backend(target))
+            self._pipelines[target] = pipe
+        return pipe
+
+    def submit(self, fn, target: Optional[str] = None,
+               **options) -> CompileHandle:
+        """Enqueue one compile; returns immediately with a handle.
+        Requests whose fingerprint matches an in-flight (or finished)
+        job attach to it instead of compiling again."""
+        if self._shut_down:
+            raise RuntimeError("BatchCompiler is shut down")
+        from repro.obs.metrics import metrics
+        resolved_target = target or self.target
+        opts = dict(self.default_options)
+        opts.update(options)
+        pipeline = self._pipeline(resolved_target)
+        normalized = pipeline.normalize_options(opts)
+        from repro.backends.common import infer_argument_kinds
+        infer_argument_kinds(fn)
+        from .fingerprint import ir_fingerprint
+        fingerprint = ir_fingerprint(
+            fn, pipeline.backend.name, pipeline._key_options(normalized))
+        request = CompileRequest(fn=fn, target=resolved_target,
+                                 options=opts)
+        metrics.counter("compile_batch.submitted").inc()
+        with self._stats_lock:
+            self.stats.submitted += 1
+            job = self._jobs.get(fingerprint)
+            if job is not None:
+                self.stats.deduplicated += 1
+                metrics.counter("compile_batch.deduplicated").inc()
+                handle = CompileHandle(job, request)
+                job.handles.append(handle)
+                return handle
+            job = _Job(fingerprint, fn, resolved_target, opts, normalized)
+            self._jobs[fingerprint] = job
+        handle = CompileHandle(job, request)
+        job.handles.append(handle)
+        thread_future = self._threads.submit(self._run_job, job)
+        thread_future.add_done_callback(
+            lambda tf, job=job: self._settle(job, tf))
+        return handle
+
+    @staticmethod
+    def _settle(job: _Job, thread_future: Future) -> None:
+        exc = thread_future.exception()
+        if exc is not None:
+            job.future.set_exception(exc)
+        else:
+            job.future.set_result(thread_future.result())
+
+    def as_completed(self, timeout: Optional[float] = None
+                     ) -> Iterator[CompileHandle]:
+        """Yield every submitted handle as its compile finishes —
+        duplicates of one job are yielded together, the moment their
+        shared compile lands."""
+        jobs = list(self._jobs.values())
+        by_future = {job.future: job for job in jobs}
+        for future in _futures_as_completed(by_future, timeout=timeout):
+            yield from by_future[future].handles
+
+    # -- execution ------------------------------------------------------
+
+    def _count(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name,
+                        getattr(self.stats, name) + delta)
+
+    def _run_job(self, job: _Job):
+        pipeline = self._pipeline(job.target)
+        if self._offloadable(pipeline, job):
+            artifact = self._compile_in_worker(job)
+            if artifact is not None:
+                with self._bind_lock:
+                    kernel = pipeline.run_precompiled(
+                        job.fn,
+                        source=artifact["source"],
+                        fingerprint=artifact["fingerprint"],
+                        extras=artifact["extras"],
+                        stages=artifact["stages"],
+                        deps_checked=artifact["deps_checked"],
+                        races_checked=artifact["races_checked"],
+                        **job.options)
+                if artifact["from_disk"]:
+                    self._count(disk_hits=1)
+                else:
+                    self._count(compiled=1, worker_compiles=1)
+                    from repro.obs.metrics import metrics
+                    metrics.counter("compile_batch.worker_compiles").inc()
+                return kernel
+        with self._bind_lock:
+            kernel = pipeline.run(job.fn, **job.options)
+        report = kernel.report
+        if report.cache_hit:
+            self._count(memory_hits=1)
+        elif report.disk_hit:
+            self._count(disk_hits=1)
+        else:
+            self._count(compiled=1, inline_compiles=1)
+            from repro.obs.metrics import metrics
+            metrics.counter("compile_batch.inline_compiles").inc()
+        return kernel
+
+    def _offloadable(self, pipeline: CompilePipeline, job: _Job) -> bool:
+        """Worth shipping to a worker process?  Only a cold compile of
+        a rebind-from-source backend, on a host with a working pool,
+        with a picklable function."""
+        if self.use_processes is False or self.workers < 2:
+            return False
+        if not getattr(pipeline.backend, "bind_from_source", False):
+            return False
+        if not bool(job.normalized.get("cache", True)) \
+                and self.use_processes is not True:
+            return False
+        if job.fingerprint in pipeline.cache:
+            return False   # warm in memory: stay inline
+        disk = pipeline._disk_tier()
+        if disk is not None and job.fingerprint in disk:
+            return False   # warm on disk: loading inline is cheaper
+        from repro.backends.parallel import get_pool
+        if get_pool(self.workers) is None:
+            return False
+        try:
+            pickle.dumps((job.fn, job.options))
+        except Exception:  # noqa: BLE001 - anything unpicklable
+            return False
+        return True
+
+    def _compile_in_worker(self, job: _Job):
+        """Dispatch one source compile onto the shared pool, with the
+        parallel runtime's retry/timeout discipline.  Returns the
+        artifact dict, or None to fall back to an inline compile."""
+        from repro.backends.common import resolve_timeout
+        from repro.backends.parallel import discard_pool, get_pool
+        from repro.obs.metrics import metrics
+        deadline = resolve_timeout(job.normalized.get("timeout"),
+                                   default=None)
+        on_failure = job.normalized.get("on_worker_failure", "fallback")
+        retryable = on_failure != "raise"
+        max_retries = int(job.normalized.get("max_retries", 2))
+        attempts = 1 + (max_retries if retryable else 0)
+        delay = RETRY_BACKOFF
+        failure: Optional[WorkerFailureError] = None
+        for attempt in range(attempts):
+            pool = get_pool(self.workers)
+            if pool is None:
+                break
+            try:
+                future = pool.submit(_compile_source_job, job.fn,
+                                     job.target, job.options)
+            except Exception:  # noqa: BLE001 - submit-time pickling
+                return None
+            try:
+                return future.result(timeout=deadline)
+            except FuturesTimeoutError:
+                future.cancel()
+                failure = WorkerFailureError(
+                    f"batch compile of {job.fn.name!r} exceeded the "
+                    f"{deadline:g}s timeout (hung worker?)")
+            except BrokenProcessPool as exc:
+                failure = WorkerFailureError(
+                    f"batch compile of {job.fn.name!r}: the worker "
+                    f"pool died ({exc})")
+            except pickle.PicklingError:
+                return None
+            # Everything else is a deterministic compile error and
+            # propagates to every handle of this fingerprint.
+            self._count(worker_failures=1)
+            metrics.counter("compile_batch.worker_failures").inc()
+            discard_pool(self.workers)
+            self._count(pool_restarts=1)
+            metrics.counter("compile_batch.pool_restarts").inc()
+            if attempt + 1 < attempts:
+                self._count(retries=1)
+                metrics.counter("compile_batch.retries").inc()
+                time.sleep(delay)
+                delay *= 2
+                if get_pool(self.workers) is None:
+                    break  # the pool cannot come back on this host
+        if failure is not None and on_failure != "fallback":
+            raise failure
+        self._count(fallbacks=1)
+        metrics.counter("compile_batch.fallbacks").inc()
+        return None
+
+
+def compile_batch(requests: Iterable, target: str = "cpu",
+                  max_workers: Optional[int] = None,
+                  use_processes: Optional[bool] = None,
+                  **options) -> List[object]:
+    """Compile a batch and return the kernels in request order.
+
+    ``requests`` may mix plain :class:`~repro.core.function.Function`
+    objects, ``(fn, options_dict)`` pairs, and
+    :class:`CompileRequest`\\ s.  Duplicate fingerprints share one
+    compile (and one kernel object); distinct cold compiles run
+    concurrently across the worker pool.  The first failed compile
+    raises, after every in-flight job has settled."""
+    with BatchCompiler(target=target, max_workers=max_workers,
+                       use_processes=use_processes, **options) as batch:
+        handles: List[CompileHandle] = []
+        for request in requests:
+            if isinstance(request, CompileRequest):
+                handles.append(batch.submit(
+                    request.fn, target=request.target,
+                    **request.options))
+            elif isinstance(request, tuple):
+                fn, item_options = request
+                handles.append(batch.submit(fn, **dict(item_options)))
+            else:
+                handles.append(batch.submit(request))
+        return [handle.result() for handle in handles]

@@ -18,7 +18,9 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
+
+from .stats import CacheStats
 
 DEFAULT_MAXSIZE = 64
 
@@ -81,6 +83,7 @@ class CompileCache:
             self.corruptions += 1
             from repro.obs.metrics import metrics
             metrics.counter("cache.corruption_misses").inc()
+            metrics.counter("compile_cache.memory.corrupt").inc()
             return None
         self._entries.move_to_end(key)
         return entry
@@ -90,9 +93,7 @@ class CompileCache:
             entry.digest = source_digest(entry.source)
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        self._evict_to(self.maxsize)
 
     def discard(self, key: str) -> None:
         self._entries.pop(key, None)
@@ -106,27 +107,46 @@ class CompileCache:
         self.corruptions = 0
 
     def resize(self, maxsize: int) -> None:
+        """Change the bound, shedding overflow through the same LRU
+        eviction path ``put`` uses — least recently used first, each
+        eviction counted locally and in the metrics registry."""
         if maxsize < 1:
             raise ValueError("cache maxsize must be >= 1")
         self.maxsize = maxsize
-        while len(self._entries) > self.maxsize:
+        self._evict_to(maxsize)
+
+    def _evict_to(self, maxsize: int) -> None:
+        """The one eviction path (``put`` overflow and ``resize`` both
+        land here): drop least-recently-used entries until the cache
+        fits, bumping the local counter and the
+        ``compile_cache.memory.evict`` metric per entry."""
+        from repro.obs.metrics import metrics
+        while len(self._entries) > maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            metrics.counter("compile_cache.memory.evict").inc()
 
     def record_hit(self) -> None:
         self.hits += 1
+        from repro.obs.metrics import metrics
+        metrics.counter("compile_cache.memory.hit").inc()
 
     def record_miss(self) -> None:
         self.misses += 1
+        from repro.obs.metrics import metrics
+        metrics.counter("compile_cache.memory.miss").inc()
 
     def keys(self):
         return list(self._entries)
 
-    def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions,
-                "corruptions": self.corruptions,
-                "size": len(self._entries), "maxsize": self.maxsize}
+    def stats(self) -> CacheStats:
+        """Point-in-time counters as a :class:`~repro.driver.stats.
+        CacheStats` (tier ``memory``); dict-style access keeps the
+        pre-unification keys working."""
+        return CacheStats(tier="memory", hits=self.hits,
+                          misses=self.misses, evictions=self.evictions,
+                          corruptions=self.corruptions,
+                          size=len(self._entries), maxsize=self.maxsize)
 
 
 #: The process-wide kernel registry used by :func:`compile_function`.

@@ -6,17 +6,35 @@ functions: ensure-params -> fingerprint -> [cache lookup] -> legality
 is timed into the kernel's :class:`~repro.driver.trace.CompileReport`;
 a cache hit returns after the fingerprint stage with the registry's
 kernel.
+
+Two warm tiers sit between fingerprint and the lowering stages: the
+in-process kernel registry (:mod:`repro.driver.cache`) and, when
+``TIRAMISU_CACHE_DIR`` points somewhere, the durable on-disk artifact
+store (:mod:`repro.driver.diskcache`).  A disk hit skips every lowering
+stage and re-binds the stored source (stages ``disk-load`` + ``bind``);
+a cold compile publishes its artifact back to disk (``disk-store``) for
+every other process sharing the directory.  Only backends that can
+rebuild a kernel from source alone (``bind_from_source = True``)
+participate in the disk tier.
+
+The batch front end (:mod:`repro.driver.batch`) splits the same flow
+across processes: :func:`compile_to_source` runs the heavy stages
+(legality through emit) inside a worker, and
+:meth:`CompilePipeline.run_precompiled` binds the shipped source in the
+parent — the static/dynamic split of arXiv 1610.07236, applied to the
+compiler itself.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .cache import CacheEntry, CompileCache, kernel_registry
 from .context import CompileContext
+from .diskcache import active_disk_cache
 from .fingerprint import ir_fingerprint
 from .registry import Backend, get_backend
-from .trace import CompileReport, emit_trace
+from .trace import CompileReport, StageTiming, emit_trace
 
 #: Options every backend accepts, with their defaults.
 BASE_OPTIONS: Dict[str, object] = {
@@ -50,7 +68,10 @@ BASE_OPTIONS: Dict[str, object] = {
 }
 
 #: The stages a full (cold) compile runs, in order ("legality" and
-#: "race-check" only when their options enable them).
+#: "race-check" only when their options enable them).  With the disk
+#: tier active, a warm-from-disk compile instead runs ensure-params ->
+#: fingerprint -> disk-load -> bind, and a cold compile appends a
+#: disk-store stage after bind.
 STAGE_ORDER = ("ensure-params", "fingerprint", "legality",
                "beta-resolution", "time-space", "ast", "race-check",
                "emit", "bind")
@@ -171,34 +192,34 @@ class CompilePipeline:
             for tag in getattr(comp, "tags", {}).values())
         return ("parallel",) if has_parallel else None
 
+    def _disk_tier(self):
+        """The active disk cache, or None — the tier only serves
+        backends whose kernels rebuild from stored source alone."""
+        if not getattr(self.backend, "bind_from_source", False):
+            return None
+        return active_disk_cache()
+
     # -- driver -----------------------------------------------------------
 
-    def run(self, fn, **opts):
-        """Compile ``fn`` through the staged pipeline; returns a kernel
-        with a ``report`` attribute."""
-        options = self.normalize_options(opts)
+    def _begin(self, fn, options: Dict[str, object]) -> CompileContext:
+        """The stages every entry point shares: build the report and
+        context, materialize params, fingerprint."""
         report = CompileReport(function=fn.name, target=self.backend.name)
         ctx = CompileContext(fn=fn, target=self.backend.name,
                              options=options, backend=self.backend,
                              report=report)
-
         with report.timed("ensure-params"):
             self._ensure_params(ctx)
         with report.timed("fingerprint"):
             ctx.fingerprint = ir_fingerprint(
                 fn, self.backend.name, self._key_options(options))
         report.fingerprint = ctx.fingerprint
+        return ctx
 
-        use_cache = bool(options["cache"])
-        if use_cache:
-            entry = self._cache_lookup(ctx)
-            if entry is not None:
-                report.cache_hit = True
-                report.source_size = len(entry.source)
-                if options["verbose"]:
-                    print(entry.source)
-                return self._finish(ctx, entry.kernel)
-
+    def _lower_and_emit(self, ctx: CompileContext) -> None:
+        """The heavy middle of the pipeline: legality through emitted
+        source (everything a cache hit skips)."""
+        fn, report, options = ctx.fn, ctx.report, ctx.options
         if options["check_legality"]:
             from repro.core.deps import check_schedule_legality
             with report.timed("legality"):
@@ -225,23 +246,108 @@ class CompilePipeline:
         if options["verbose"]:
             print(ctx.source)
 
+    def _bind_and_store(self, ctx: CompileContext, *,
+                        store_disk: bool = True):
+        """Bind the context's source and publish the artifact to both
+        cache tiers (memory always, disk when active)."""
+        report = ctx.report
         with report.timed("bind"):
             ctx.kernel = self.backend.bind(ctx)
-
-        if use_cache:
+        if bool(ctx.options["cache"]):
             self.cache.record_miss()
-            self.cache.put(CacheEntry(key=ctx.fingerprint, fn=fn,
+            self.cache.put(CacheEntry(key=ctx.fingerprint, fn=ctx.fn,
                                       target=self.backend.name,
                                       source=ctx.source,
                                       kernel=ctx.kernel))
+            disk = self._disk_tier() if store_disk else None
+            if disk is not None and ctx.fingerprint not in disk:
+                with report.timed("disk-store"):
+                    disk.put(ctx.fingerprint, ctx.source,
+                             self.backend.name, extras=ctx.extras)
         return self._finish(ctx, ctx.kernel)
 
+    def run(self, fn, **opts):
+        """Compile ``fn`` through the staged pipeline; returns a kernel
+        with a ``report`` attribute."""
+        options = self.normalize_options(opts)
+        ctx = self._begin(fn, options)
+        report = ctx.report
+
+        use_cache = bool(options["cache"])
+        if use_cache:
+            entry = self._cache_lookup(ctx)
+            if entry is not None:
+                report.cache_hit = True
+                report.source_size = len(entry.source)
+                if options["verbose"]:
+                    print(entry.source)
+                return self._finish(ctx, entry.kernel)
+            disk = self._disk_tier()
+            if disk is not None:
+                with report.timed("disk-load"):
+                    dentry = disk.get(ctx.fingerprint)
+                if dentry is not None:
+                    ctx.source = dentry.source
+                    ctx.extras.update(dentry.extras)
+                    report.disk_hit = True
+                    report.source_size = len(ctx.source)
+                    if options["verbose"]:
+                        print(ctx.source)
+                    # The artifact is already durable: bind it and
+                    # promote into the in-memory tier only.
+                    return self._bind_and_store(ctx, store_disk=False)
+
+        self._lower_and_emit(ctx)
+        if not use_cache:
+            with report.timed("bind"):
+                ctx.kernel = self.backend.bind(ctx)
+            return self._finish(ctx, ctx.kernel)
+        return self._bind_and_store(ctx)
+
+    def run_precompiled(self, fn, *, source: str,
+                        fingerprint: str = "",
+                        extras: Optional[Dict[str, object]] = None,
+                        stages: Optional[List[Tuple[str, float,
+                                                    float]]] = None,
+                        deps_checked: Optional[int] = None,
+                        races_checked: Optional[int] = None,
+                        **opts):
+        """Bind a kernel whose heavy stages already ran elsewhere (a
+        batch worker process, see :func:`compile_to_source`).
+
+        ``stages`` are the worker's stage timings; they are adopted
+        into this report so the cost of the compile stays visible
+        wherever it was paid.  The bound kernel is published to both
+        cache tiers exactly as a local cold compile would be."""
+        options = self.normalize_options(opts)
+        ctx = self._begin(fn, options)
+        if fingerprint and fingerprint != ctx.fingerprint:
+            raise ValueError(
+                f"precompiled artifact fingerprint {fingerprint[:16]} "
+                f"does not match {ctx.fingerprint[:16]} for "
+                f"{fn.name!r}: the function drifted between the worker "
+                "compile and the bind")
+        for name, seconds, start in (stages or []):
+            ctx.report.stages.append(StageTiming(name, seconds, start))
+        ctx.report.deps_checked = deps_checked
+        ctx.report.races_checked = races_checked
+        ctx.source = source
+        ctx.extras.update(extras or {})
+        ctx.report.source_size = len(source)
+        if options["verbose"]:
+            print(source)
+        return self._bind_and_store(ctx)
+
     def _finish(self, ctx: CompileContext, kernel):
-        # Point-in-time copy: later compiles must not mutate the stats
-        # an already-issued report carries.
-        ctx.report.cache_stats = dict(self.cache.stats())
+        # Point-in-time snapshots: later compiles must not mutate the
+        # stats an already-issued report carries.  Every tier reports
+        # through the shared CacheStats vocabulary (repro.driver.stats).
+        ctx.report.cache_stats = self.cache.stats()
         from repro.isl.cache import stats as isl_cache_stats
         ctx.report.isl_cache_stats = isl_cache_stats()
+        disk = self._disk_tier()
+        if disk is not None:
+            ctx.report.disk_cache_stats = disk.stats()
         ctx.report.parallel_regions = getattr(kernel, "parallel_regions", 0)
         runtime = getattr(kernel, "runtime", None)
         if runtime is not None:
@@ -258,3 +364,46 @@ class CompilePipeline:
 def compile_function(fn, target: str = "cpu", **opts):
     """The unified compile entry point behind ``Function.compile``."""
     return CompilePipeline(get_backend(target)).run(fn, **opts)
+
+
+def compile_to_source(fn, target: str = "cpu", **opts) -> Dict[str, object]:
+    """Run the pipeline through ``emit`` only and return a picklable
+    artifact — the half of a compile that is worth shipping between
+    processes (the ``bind`` stage needs the caller's live objects).
+
+    This is what a batch worker executes (:mod:`repro.driver.batch`):
+    the dict carries the fingerprint, the emitted source, backend
+    extras, and the worker's heavy-stage timings, and the parent turns
+    it into a kernel with :meth:`CompilePipeline.run_precompiled`.
+    When the disk tier is active the worker checks it before lowering
+    and publishes its artifact after, so concurrent workers racing on
+    one fingerprint do the work once."""
+    backend = get_backend(target)
+    pipe = CompilePipeline(backend)
+    options = pipe.normalize_options(opts)
+    ctx = pipe._begin(fn, options)
+    shared = len(ctx.report.stages)   # ensure-params + fingerprint
+    disk = pipe._disk_tier() if options["cache"] else None
+    from_disk = False
+    if disk is not None:
+        dentry = disk.get(ctx.fingerprint)
+        if dentry is not None:
+            ctx.source = dentry.source
+            ctx.extras.update(dentry.extras)
+            from_disk = True
+    if not from_disk:
+        pipe._lower_and_emit(ctx)
+        if disk is not None:
+            disk.put(ctx.fingerprint, ctx.source, backend.name,
+                     extras=ctx.extras)
+    return {
+        "fingerprint": ctx.fingerprint,
+        "target": backend.name,
+        "source": ctx.source,
+        "extras": dict(ctx.extras),
+        "stages": [(s.name, s.seconds, s.start)
+                   for s in ctx.report.stages[shared:]],
+        "deps_checked": ctx.report.deps_checked,
+        "races_checked": ctx.report.races_checked,
+        "from_disk": from_disk,
+    }

@@ -31,6 +31,13 @@ class Backend:
     name: str = ""
     #: target-specific compile options and their defaults
     extra_options: Dict[str, object] = {}
+    #: True when ``bind(ctx)`` needs only ``ctx.fn`` + ``ctx.source`` (+
+    #: picklable ``ctx.extras``) — i.e. a kernel can be rebuilt from
+    #: stored source alone.  Gates the durable on-disk artifact tier
+    #: (:mod:`repro.driver.diskcache`) and batch worker offload
+    #: (:mod:`repro.driver.batch`); backends whose bind consumes
+    #: unpicklable emit-time state (e.g. a live AST) must leave it off.
+    bind_from_source: bool = False
 
     def emit(self, ctx) -> str:
         """Stage: lower the context's AST to target source."""

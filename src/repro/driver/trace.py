@@ -72,17 +72,45 @@ class CompileReport:
     target: str
     fingerprint: str = ""
     cache_hit: bool = False
+    #: Served from the durable on-disk artifact tier (the compile
+    #: skipped every lowering stage and re-bound stored source); see
+    #: :mod:`repro.driver.diskcache`.
+    disk_hit: bool = False
     stages: List[StageTiming] = field(default_factory=list)
     source_size: int = 0
     deps_checked: Optional[int] = None
     races_checked: Optional[int] = None
     parallel_regions: int = 0
     parallel_workers: Optional[int] = None
+    #: In-memory kernel-registry counters at finish time — a
+    #: :class:`~repro.driver.stats.CacheStats` (tier ``memory``) that
+    #: still answers the legacy dict-style reads.
     cache_stats: Dict[str, int] = field(default_factory=dict)
     #: Point-in-time counters of the process-wide ISL memo caches
     #: (:mod:`repro.isl.cache`): emptiness and composition hits/misses
     #: and current sizes.  Cumulative across compiles, like cache_stats.
+    #: A :class:`~repro.driver.stats.CacheStatsGroup` (tiers
+    #: ``isl.empty`` / ``isl.compose``) with the legacy flat keys.
     isl_cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Disk-tier counters at finish time (tier ``disk``); empty when
+    #: the tier is inactive.
+    disk_cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def caches(self) -> Dict[str, object]:
+        """Every cache tier this compile saw, by tier name, in the
+        unified :class:`~repro.driver.stats.CacheStats` vocabulary:
+        ``memory``, ``disk`` (when active), ``isl.empty`` and
+        ``isl.compose``."""
+        out: Dict[str, object] = {}
+        if self.cache_stats:
+            out["memory"] = self.cache_stats
+        if self.disk_cache_stats:
+            out["disk"] = self.disk_cache_stats
+        tiers = getattr(self.isl_cache_stats, "tiers", None)
+        if tiers:
+            out.update(tiers)
+        return out
 
     @property
     def total_seconds(self) -> float:
@@ -115,6 +143,7 @@ class CompileReport:
             "target": self.target,
             "fingerprint": self.fingerprint,
             "cache_hit": self.cache_hit,
+            "disk_hit": self.disk_hit,
             "stages": [{"name": s.name, "seconds": s.seconds,
                         "start": s.start} for s in self.stages],
             "total_seconds": self.total_seconds,
@@ -125,10 +154,16 @@ class CompileReport:
             "parallel_workers": self.parallel_workers,
             "cache_stats": dict(self.cache_stats),
             "isl_cache_stats": dict(self.isl_cache_stats),
+            "disk_cache_stats": dict(self.disk_cache_stats),
         }
 
     def format_table(self) -> str:
-        verdict = "hit" if self.cache_hit else "miss"
+        if self.cache_hit:
+            verdict = "hit"
+        elif self.disk_hit:
+            verdict = "disk hit"
+        else:
+            verdict = "miss"
         lines = [f"== tiramisu compile: {self.function} -> {self.target} "
                  f"[cache {verdict}] =="]
         # Size the stage column to the longest name so long stage names
@@ -158,6 +193,15 @@ class CompileReport:
                 f"{cs.get('misses', 0)} misses / "
                 f"{cs.get('evictions', 0)} evictions "
                 f"(size {cs.get('size', 0)}/{cs.get('maxsize', 0)})")
+        if self.disk_cache_stats:
+            ds = self.disk_cache_stats
+            lines.append(
+                f"  disk: {ds.get('hits', 0)} hits / "
+                f"{ds.get('misses', 0)} misses / "
+                f"{ds.get('evictions', 0)} evictions / "
+                f"{ds.get('corruptions', 0)} corrupt "
+                f"(size {ds.get('size', 0)}, "
+                f"{ds.get('bytes', 0)}/{ds.get('max_bytes', 0)} bytes)")
         if self.isl_cache_stats:
             ics = self.isl_cache_stats
             lines.append(

@@ -102,18 +102,27 @@ def _publish_sizes() -> None:
     m.gauge("isl.compose_cache.size").set(len(_compose_memo))
 
 
-def stats() -> Dict[str, float]:
+def stats():
     """Point-in-time cache counters (the driver copies this onto each
-    :class:`~repro.driver.trace.CompileReport`)."""
+    :class:`~repro.driver.trace.CompileReport`).
+
+    Returns a :class:`~repro.driver.stats.CacheStatsGroup` with tiers
+    ``isl.empty`` and ``isl.compose`` in the driver-wide CacheStats
+    vocabulary; the legacy flat keys (``empty_hits``, ``compose_size``,
+    ...) keep answering through its mapping surface."""
+    from repro.driver.stats import CacheStats, CacheStatsGroup
     m = _metrics()
-    return {
-        "empty_hits": int(m.counter("isl.empty_cache.hits").value),
-        "empty_misses": int(m.counter("isl.empty_cache.misses").value),
-        "empty_size": len(_empty_memo),
-        "compose_hits": int(m.counter("isl.compose_cache.hits").value),
-        "compose_misses": int(m.counter("isl.compose_cache.misses").value),
-        "compose_size": len(_compose_memo),
-    }
+    return CacheStatsGroup(
+        CacheStats(
+            tier="isl.empty",
+            hits=int(m.counter("isl.empty_cache.hits").value),
+            misses=int(m.counter("isl.empty_cache.misses").value),
+            size=len(_empty_memo), maxsize=EMPTY_CACHE_MAX),
+        CacheStats(
+            tier="isl.compose",
+            hits=int(m.counter("isl.compose_cache.hits").value),
+            misses=int(m.counter("isl.compose_cache.misses").value),
+            size=len(_compose_memo), maxsize=COMPOSE_CACHE_MAX))
 
 
 # -- the emptiness memo ------------------------------------------------------

@@ -28,6 +28,14 @@ its memo caches and Omega-test short-circuits here too:
 ``isl.compose_cache.hits`` / ``.misses`` / ``.size``, and
 ``isl.empty.prefilter_trivial`` / ``prefilter_eq_clash`` /
 ``prefilter_bounds`` / ``rational_fastpath``.
+
+The compile-as-a-service layer (docs/compiler_driver.md) counts per
+cache tier and per batch: ``compile_cache.memory.{hit,miss,evict,
+corrupt}`` from the in-process kernel registry,
+``compile_cache.disk.{hit,miss,evict,corrupt}`` from the durable
+on-disk artifact tier, and ``compile_batch.{submitted,deduplicated,
+worker_compiles,inline_compiles,worker_failures,retries,pool_restarts,
+fallbacks}`` from the batch front end.
 """
 
 from __future__ import annotations

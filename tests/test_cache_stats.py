@@ -1,0 +1,133 @@
+"""The unified cache-stats vocabulary (repro.driver.stats): one
+CacheStats shape for every tier, with the pre-unification dict surfaces
+still answering for one release."""
+
+import json
+
+import pytest
+
+from repro import Computation, Function, Var
+from repro.driver import kernel_registry
+from repro.driver.stats import STAT_KEYS, CacheStats, CacheStatsGroup
+
+
+def build(name="f"):
+    f = Function(name)
+    with f:
+        i, j = Var("i", 0, 8), Var("j", 0, 8)
+        Computation("c", [i, j], 2.0 * i + j)
+    return f
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    kernel_registry.clear()
+    yield
+    kernel_registry.clear()
+
+
+class TestCacheStats:
+    def test_dict_surface_matches_legacy_shape(self):
+        cs = CacheStats(tier="memory", hits=3, misses=1, evictions=2,
+                        corruptions=0, size=4, maxsize=64)
+        # dict(cs) must reproduce exactly the pre-unification key set —
+        # no 'tier' key leaking into the mapping view.
+        assert dict(cs) == {"hits": 3, "misses": 1, "evictions": 2,
+                            "corruptions": 0, "size": 4, "maxsize": 64}
+        assert cs["hits"] == 3
+        assert cs.get("evictions", 0) == 2
+        assert cs.get("nonexistent", 7) == 7
+        assert set(STAT_KEYS) <= set(cs)
+
+    def test_equality_against_plain_dict_both_ways(self):
+        cs = CacheStats(tier="memory", hits=1, size=1, maxsize=8)
+        as_dict = dict(cs)
+        assert cs == as_dict
+        assert as_dict == cs
+
+    def test_extra_keys_ride_the_mapping(self):
+        cs = CacheStats(tier="disk", hits=2, size=1,
+                        extra={"bytes": 483, "max_bytes": 1024})
+        assert cs["bytes"] == 483
+        assert dict(cs)["max_bytes"] == 1024
+
+    def test_prefixed_reproduces_legacy_isl_keys(self):
+        cs = CacheStats(tier="isl.empty", hits=5, misses=2, size=3)
+        flat = cs.prefixed()
+        assert flat["empty_hits"] == 5
+        assert flat["empty_misses"] == 2
+        assert flat["empty_size"] == 3
+        assert cs.prefixed("disk")["disk_hits"] == 5
+
+    def test_json_roundtrip(self):
+        cs = CacheStats(tier="memory", hits=1, misses=2, size=3,
+                        maxsize=64)
+        assert json.loads(json.dumps(dict(cs))) == cs
+
+    def test_format_line(self):
+        cs = CacheStats(tier="memory", hits=1, misses=2, evictions=0,
+                        size=3, maxsize=64)
+        assert cs.format_line() == "1 hits / 2 misses / 0 evictions " \
+                                   "(size 3/64)"
+
+
+class TestCacheStatsGroup:
+    def group(self):
+        return CacheStatsGroup(
+            CacheStats(tier="isl.empty", hits=4, misses=2, size=2,
+                       maxsize=16),
+            CacheStats(tier="isl.compose", hits=1, misses=3, size=3,
+                       maxsize=8))
+
+    def test_canonical_tier_access(self):
+        g = self.group()
+        assert g.tier("isl.empty").hits == 4
+        assert g.tier("isl.compose").misses == 3
+
+    def test_legacy_flat_keys_still_answer(self):
+        g = self.group()
+        assert g["empty_hits"] == 4
+        assert g["compose_size"] == 3
+        assert g.get("empty_misses") == 2
+        assert dict(g) == {"empty_hits": 4, "empty_misses": 2,
+                           "empty_size": 2, "compose_hits": 1,
+                           "compose_misses": 3, "compose_size": 3}
+
+    def test_full_tier_name_also_answers(self):
+        g = self.group()
+        assert g["isl.empty_hits"] == 4
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            self.group()["bogus_hits"]
+
+
+class TestReportUnification:
+    def test_every_tier_reports_the_same_vocabulary(self):
+        kernel = build().compile("cpu")
+        caches = kernel.report.caches
+        assert {"memory", "isl.empty", "isl.compose"} <= set(caches)
+        for tier_name, stats in caches.items():
+            assert stats.tier == tier_name
+            for key in STAT_KEYS:
+                assert key in set(stats) | {"maxsize"} \
+                    or hasattr(stats, key)
+
+    def test_registry_stats_is_cachestats(self):
+        build().compile("cpu")
+        stats = kernel_registry.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.tier == "memory"
+        assert stats.misses == 1
+        # Legacy read style still works.
+        assert stats["misses"] == 1
+
+    def test_isl_stats_group_legacy_keys(self):
+        from repro.isl.cache import stats as isl_stats
+        build().compile("cpu", check_legality=True)
+        g = isl_stats()
+        assert isinstance(g, CacheStatsGroup)
+        # The flat keys the old dict exposed keep answering.
+        for key in ("empty_hits", "empty_misses", "empty_size",
+                    "compose_hits", "compose_misses", "compose_size"):
+            assert isinstance(g[key], int)

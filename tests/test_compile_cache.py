@@ -194,6 +194,57 @@ class TestLRUBound:
             from repro.driver.cache import DEFAULT_MAXSIZE
             kernel_registry.resize(DEFAULT_MAXSIZE)
 
+    def test_resize_matches_put_driven_eviction(self):
+        # Regression: resize() used to shed overflow on its own path,
+        # skipping the eviction counters/metrics and (for multi-entry
+        # sheds) the LRU discipline.  Both paths now land in _evict_to:
+        # the survivors, their order, the local counter and the
+        # compile_cache.memory.evict metric must be identical.
+        from repro.driver.cache import CacheEntry
+        from repro.obs.metrics import metrics
+
+        def fill(cache):
+            for key in ("k1", "k2", "k3", "k4"):
+                cache.put(CacheEntry(key=key, fn=None, target="cpu",
+                                     source="", kernel=object()))
+            cache.get("k2")     # k2 becomes most recently used
+
+        metrics.reset()
+        via_put = CompileCache(maxsize=4)
+        fill(via_put)
+        # put()-driven: shrink the bound by overflowing it twice.
+        via_put.maxsize = 2
+        via_put.put(CacheEntry(key="k5", fn=None, target="cpu",
+                               source="", kernel=object()))
+        put_metric = metrics.counter("compile_cache.memory.evict").value
+
+        metrics.reset()
+        via_resize = CompileCache(maxsize=4)
+        fill(via_resize)
+        via_resize.resize(2)
+        via_resize.put(CacheEntry(key="k5", fn=None, target="cpu",
+                                  source="", kernel=object()))
+        resize_metric = metrics.counter("compile_cache.memory.evict").value
+
+        assert via_put.keys() == via_resize.keys() == ["k2", "k5"]
+        assert via_put.evictions == via_resize.evictions == 3
+        assert put_metric == resize_metric == 3
+        assert via_put.stats() == via_resize.stats()
+
+    def test_resize_emits_eviction_metrics(self):
+        from repro.driver.cache import CacheEntry
+        from repro.obs.metrics import metrics
+        metrics.reset()
+        cache = CompileCache(maxsize=8)
+        for n in range(6):
+            cache.put(CacheEntry(key=f"k{n}", fn=None, target="cpu",
+                                 source="", kernel=object()))
+        cache.resize(2)
+        assert cache.evictions == 4
+        assert metrics.counter("compile_cache.memory.evict").value == 4
+        # LRU discipline: the two most recently used keys survive.
+        assert cache.keys() == ["k4", "k5"]
+
     def test_evicted_entry_recompiles(self):
         kernel_registry.resize(1)
         try:

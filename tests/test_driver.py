@@ -105,28 +105,43 @@ class TestUniformOptions:
             f.compile(target, check_legailty=True)
         assert "check_legailty" in str(err.value)
 
-    def test_shims_reject_unknown_options(self):
-        from repro.backends.cpu import compile_cpu
+    def test_unknown_options_rejected(self):
         f, _ = build_simple()
         with pytest.raises(TypeError) as err:
-            compile_cpu(f, bogus_flag=1)
+            compile_function(f, bogus_flag=1)
         assert "bogus_flag" in str(err.value)
 
-    def test_shims_accept_check_legality(self):
-        from repro.backends.cpu import compile_cpu
-        from repro.backends.distributed import compile_distributed
-        from repro.backends.gpu import compile_gpu
+    def test_check_legality_accepted_everywhere(self):
         f, _ = build_simple()
-        assert compile_cpu(f, check_legality=True)(
+        assert compile_function(f, check_legality=True)(
         )["c"].shape == (8, 8)
         kernel_registry.clear()
         f2, _ = build_simple("f2")
-        assert compile_distributed(f2, check_legality=True) is not None
+        assert compile_function(f2, target="distributed",
+                                check_legality=True) is not None
         # gpu needs a mapping; just check the kwarg is accepted up to
         # the backend's own validation.
         f3, c3 = build_simple("f3")
         c3.tile_gpu("i", "j", 4, 4)
-        assert compile_gpu(f3, check_legality=True) is not None
+        assert compile_function(f3, target="gpu",
+                                check_legality=True) is not None
+
+    def test_shim_contract(self):
+        # The deprecated free functions stay as thin wrappers: they
+        # warn (naming the replacement and the removal horizon), then
+        # delegate to compile_function — including option validation.
+        from repro.backends.cpu import compile_cpu
+        from repro.backends.gpu import compile_gpu
+        f, _ = build_simple()
+        with pytest.warns(DeprecationWarning,
+                          match=r"removed in release 2\.0.*"
+                                r'Function\.compile\("cpu"\)'):
+            kernel = compile_cpu(f)
+        assert kernel()["c"].shape == (8, 8)
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(TypeError) as err:
+            compile_gpu(f, bogus_flag=1)
+        assert "bogus_flag" in str(err.value)
 
     def test_backend_specific_option_stays_scoped(self):
         # extra_flags belongs to the C backend only.

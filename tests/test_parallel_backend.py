@@ -356,13 +356,17 @@ class TestDeprecatedShims:
     def test_compile_cpu_warns(self):
         from repro.backends.cpu import compile_cpu
         bundle = build_sgemm()
+        # The warning must name both the removal horizon and the
+        # replacement API.
         with pytest.warns(DeprecationWarning,
-                          match=r'Function\.compile\("cpu"\)'):
+                          match=r"removed in release 2\.0.*"
+                                r'Function\.compile\("cpu"\)'):
             compile_cpu(bundle.function)
 
     def test_compile_distributed_warns(self):
         from repro.backends.distributed import compile_distributed
         bundle = build_sgemm()
         with pytest.warns(DeprecationWarning,
-                          match=r'Function\.compile\("distributed"\)'):
+                          match=r"removed in release 2\.0.*"
+                                r'Function\.compile\("distributed"\)'):
             compile_distributed(bundle.function)
