@@ -1,0 +1,117 @@
+"""Tier-2 gate for the search-based autoscheduler.
+
+Three promises, all measured on real generated kernels:
+
+* beam-found schedules land within 1.2x of the hand-written evaluation
+  schedules for sgemm and conv (conv needs the measured-finals pass:
+  the analytical model over-credits big tiles in this runtime);
+* the search respects its candidate budget;
+* the model's ranking is good enough that its top-1 plan measures
+  within the top-3 of the beam finalists.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.autosched import (MeasuredOracle, ModelOracle, autoschedule)
+from repro.autosched.search import beam_search
+from repro.evaluation.autosched_compare import compare_kernel, time_kernel
+from repro.kernels.dnn import build_conv, schedule_conv_cpu
+from repro.kernels.linalg import build_sgemm, schedule_sgemm_cpu
+
+SGEMM_PARAMS = {"N": 64, "M": 64, "K": 64}
+CONV_PARAMS = {"B": 2, "F": 4, "N": 24, "M": 24}
+
+
+class TestAutoVsHand:
+    def test_sgemm_beam_within_1p2x_of_hand(self):
+        budget = 80
+        row = compare_kernel(
+            build_sgemm, lambda b: schedule_sgemm_cpu(b, 8, 4),
+            params=SGEMM_PARAMS, budget=budget, repeats=3,
+            oracle=ModelOracle(SGEMM_PARAMS, num_threads=1))
+        print_table("autosched sgemm (ms)",
+                    {"naive": round(row.naive_seconds * 1e3, 2),
+                     "hand": round(row.hand_seconds * 1e3, 2),
+                     "auto": round(row.auto_seconds * 1e3, 2),
+                     "auto/hand": round(row.auto_vs_hand, 3)})
+        assert row.candidates <= budget
+        assert row.auto_vs_hand <= 1.2
+
+    def test_conv_beam_measured_finals_within_1p2x_of_hand(self):
+        budget = 400
+        bundle = build_conv()
+        result = autoschedule(
+            bundle.function, strategy="beam", budget=budget,
+            beam_width=4, rounds=4,
+            oracle=ModelOracle(CONV_PARAMS, num_threads=1),
+            measure_oracle=MeasuredOracle(CONV_PARAMS,
+                                          make_inputs=bundle.make_inputs,
+                                          repeats=3),
+            measure_top_k=6)
+        assert result.candidates <= budget
+        assert result.measured >= 2
+
+        rng = np.random.default_rng(0)
+        inputs = bundle.make_inputs(CONV_PARAMS, rng)
+        auto_kernel = bundle.function.compile("cpu",
+                                              autoschedule=result.plan)
+        auto_s = time_kernel(auto_kernel, inputs, CONV_PARAMS, repeats=3)
+
+        hand = build_conv()
+        schedule_conv_cpu(hand)
+        hand_s = time_kernel(hand.function.compile("cpu"), inputs,
+                             CONV_PARAMS, repeats=3)
+        print_table("autosched conv (ms)",
+                    {"hand": round(hand_s * 1e3, 2),
+                     "auto": round(auto_s * 1e3, 2),
+                     "auto/hand": round(auto_s / hand_s, 3),
+                     "plan": result.plan.serialize()})
+        assert auto_s <= 1.2 * hand_s
+
+
+class TestSearchDiscipline:
+    def test_budget_bounds_enumeration(self):
+        fn = build_sgemm().function
+        result = autoschedule(fn, strategy="beam", budget=25, rounds=4,
+                              params={"N": 24, "M": 20, "K": 16})
+        assert result.candidates <= 25
+
+
+class _RecordingOracle(ModelOracle):
+    """Model oracle that remembers every (plan, cost) it scored."""
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self.pool = {}
+
+    def score(self, fn, plan):
+        cost = super().score(fn, plan)
+        self.pool[plan.serialize()] = (plan, cost)
+        return cost
+
+
+class TestModelFidelity:
+    def test_model_top1_measures_in_top3_of_finalists(self):
+        """The ranking the whole inner loop trusts: the model's chosen
+        plan must be one of the 3 fastest among the model's own top-5
+        finalists when all five are actually compiled and timed."""
+        bundle = build_sgemm()
+        oracle = _RecordingOracle(SGEMM_PARAMS, num_threads=1)
+        best, report = beam_search(bundle.function, oracle,
+                                   beam_width=4, rounds=3, budget=120)
+        finalists = sorted(oracle.pool.values(),
+                           key=lambda pc: (pc[1], pc[0].serialize()))[:5]
+        plans = [p for p, _ in finalists]
+        assert best.serialize() == plans[0].serialize()
+
+        measured = MeasuredOracle(SGEMM_PARAMS,
+                                  make_inputs=bundle.make_inputs,
+                                  repeats=3).rank(bundle.function, plans)
+        print_table("model top-5 vs measured (s)",
+                    {p.serialize()[:64]: round(c, 4) for p, c in measured})
+        top3 = {p.serialize() for p, _ in measured[:3]}
+        assert plans[0].serialize() in top3

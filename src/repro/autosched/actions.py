@@ -1,0 +1,184 @@
+"""Reified scheduling actions: the move set of the autoscheduler.
+
+Each action names one Table-II scheduling command applied to one
+computation, with computations referenced by name and loop levels by
+position in the computation's *current* ``time_names`` — positions are
+interpreted against the state left by the preceding actions of a
+:class:`~repro.autosched.plan.SchedulePlan`, so a serialized action list
+replays deterministically.  Actions are frozen dataclasses with a JSON
+form (``to_json``/``from_json``); the ``kind`` registry makes the JSON
+round-trip total and makes unknown kinds fail loudly.
+
+The move set mirrors what the search enumerates (ISSUE/paper Table II):
+fuse-at-level, interchange, tile, vectorize, unroll, parallelize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Type
+
+from repro.core.errors import TiramisuError
+
+
+class ActionError(TiramisuError, ValueError):
+    """A malformed or unknown schedule action."""
+
+
+_ACTION_KINDS: Dict[str, Type["ScheduleAction"]] = {}
+
+
+def register_action(cls):
+    """Class decorator: make an action kind JSON-resolvable."""
+    if not getattr(cls, "kind", ""):
+        raise ActionError(f"action class {cls!r} must define a 'kind'")
+    _ACTION_KINDS[cls.kind] = cls
+    return cls
+
+
+class ScheduleAction:
+    """Base class for one reified scheduling command.
+
+    ``apply(fn)`` performs the command on the live function and may
+    raise :class:`~repro.core.errors.ScheduleError` when the command is
+    structurally invalid (bad level, non-consecutive tile dims);
+    callers that need atomicity wrap it in a snapshot (see
+    :meth:`repro.autosched.plan.SchedulePlan.push`).
+    """
+
+    kind: str = ""
+
+    def apply(self, fn) -> None:
+        raise NotImplementedError
+
+    def to_json(self) -> Dict[str, object]:
+        d: Dict[str, object] = {"kind": self.kind}
+        for f in fields(self):  # type: ignore[arg-type]
+            d[f.name] = getattr(self, f.name)
+        return d
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "ScheduleAction":
+        if not isinstance(data, dict) or "kind" not in data:
+            raise ActionError(f"schedule action needs a 'kind': {data!r}")
+        payload = dict(data)
+        kind = payload.pop("kind")
+        cls = _ACTION_KINDS.get(kind)
+        if cls is None:
+            raise ActionError(
+                f"unknown schedule action kind {kind!r}; known kinds: "
+                f"{', '.join(sorted(_ACTION_KINDS))}")
+        expected = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+        if set(payload) != expected:
+            raise ActionError(
+                f"action {kind!r} expects fields {sorted(expected)}, "
+                f"got {sorted(payload)}")
+        return cls(**payload)
+
+    def __repr__(self):
+        args = ", ".join(f"{f.name}={getattr(self, f.name)!r}"
+                         for f in fields(self))  # type: ignore[arg-type]
+        return f"{type(self).__name__}({args})"
+
+
+def _comp(fn, name: str):
+    try:
+        return fn.find(name)
+    except KeyError:
+        raise ActionError(
+            f"{fn.name}: no computation named {name!r}") from None
+
+
+@register_action
+@dataclass(frozen=True, repr=False)
+class Fuse(ScheduleAction):
+    """Order ``consumer`` after ``producer`` sharing loops 0..level."""
+
+    consumer: str
+    producer: str
+    level: int
+    kind = "fuse"
+
+    def apply(self, fn) -> None:
+        cons = _comp(fn, self.consumer)
+        prod = _comp(fn, self.producer)
+        depth = min(len(cons.time_names), len(prod.time_names))
+        if not -1 <= self.level < depth:
+            raise ActionError(
+                f"fuse {self.producer}->{self.consumer}: level "
+                f"{self.level} out of range (shared depth {depth})")
+        fn.order_after(cons, prod, self.level)
+
+
+@register_action
+@dataclass(frozen=True, repr=False)
+class Interchange(ScheduleAction):
+    computation: str
+    level1: int
+    level2: int
+    kind = "interchange"
+
+    def apply(self, fn) -> None:
+        _comp(fn, self.computation).interchange(self.level1, self.level2)
+
+
+@register_action
+@dataclass(frozen=True, repr=False)
+class Tile(ScheduleAction):
+    """Tile two consecutive levels with a size1 x size2 block."""
+
+    computation: str
+    level1: int
+    level2: int
+    size1: int
+    size2: int
+    kind = "tile"
+
+    def apply(self, fn) -> None:
+        if self.size1 < 2 or self.size2 < 2:
+            raise ActionError(
+                f"tile sizes must be >= 2, got "
+                f"{self.size1}x{self.size2}")
+        _comp(fn, self.computation).tile(
+            self.level1, self.level2, self.size1, self.size2)
+
+
+@register_action
+@dataclass(frozen=True, repr=False)
+class Vectorize(ScheduleAction):
+    computation: str
+    level: int
+    length: int
+    kind = "vectorize"
+
+    def apply(self, fn) -> None:
+        if self.length < 2:
+            raise ActionError(
+                f"vector length must be >= 2, got {self.length}")
+        _comp(fn, self.computation).vectorize(self.level, self.length)
+
+
+@register_action
+@dataclass(frozen=True, repr=False)
+class Unroll(ScheduleAction):
+    computation: str
+    level: int
+    factor: int
+    kind = "unroll"
+
+    def apply(self, fn) -> None:
+        if self.factor < 2:
+            raise ActionError(
+                f"unroll factor must be >= 2, got {self.factor}")
+        _comp(fn, self.computation).unroll(self.level, self.factor)
+
+
+@register_action
+@dataclass(frozen=True, repr=False)
+class Parallelize(ScheduleAction):
+    computation: str
+    level: int
+    kind = "parallelize"
+
+    def apply(self, fn) -> None:
+        _comp(fn, self.computation).parallelize(self.level)

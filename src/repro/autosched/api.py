@@ -1,0 +1,155 @@
+"""The autoscheduler front door: ``autoschedule()`` + strategy registry.
+
+One public entry point replaces the grab-bag of per-algorithm free
+functions: strategies self-register with :func:`register_strategy`
+(mirroring the backend registry of :mod:`repro.driver.registry`),
+resolve by name, and all return the same :class:`AutoScheduleResult` —
+a chosen :class:`~repro.autosched.plan.SchedulePlan` plus uniform
+search accounting (candidates / pruned / kept / measured).  Unknown
+strategy names raise :class:`UnknownStrategyError` listing what *is*
+registered.
+
+The returned plan is **not** applied: the caller either applies it
+(``result.plan.apply(fn)``; pass ``apply=True`` for convenience) or —
+the recommended path — hands its serialized form to the compile driver
+(``fn.compile(autoschedule=result.plan)``), which applies it for
+lowering only and keys both cache tiers on it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import TiramisuError
+
+from .plan import SchedulePlan
+
+
+class UnknownStrategyError(TiramisuError, ValueError):
+    """Asked for an autoschedule strategy nobody registered."""
+
+
+class Strategy:
+    """Base class (and de-facto protocol) for search strategies.
+
+    Subclasses set ``name`` and implement ``run(fn, *, oracle, budget,
+    **kw) -> AutoScheduleResult``.  ``run`` must leave ``fn``'s schedule
+    exactly as it found it — plans are returned, not applied.
+    """
+
+    name: str = ""
+
+    def run(self, fn, *, oracle=None, budget: Optional[int] = None,
+            **kw) -> "AutoScheduleResult":
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Strategy {self.name}>"
+
+
+@dataclass
+class AutoScheduleResult:
+    """What every strategy returns: the chosen plan + the ledger."""
+
+    strategy: str
+    plan: SchedulePlan
+    #: strategy-specific detail (e.g. the pluto AutoScheduleReport or
+    #: the beam SearchReport); inspect, don't depend on its shape.
+    report: object = None
+    candidates: int = 0         # plans enumerated (legal or not)
+    pruned_illegal: int = 0     # killed by the legality checks
+    beam_kept: int = 0          # survivors kept across beam rounds
+    measured: int = 0           # finalists compiled + timed
+    best_cost: float = float("inf")      # oracle cost of the chosen plan
+    baseline_cost: float = float("inf")  # oracle cost of the empty plan
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def speedup_estimate(self) -> float:
+        """baseline/best under the ranking oracle (1.0 = no change)."""
+        if self.best_cost <= 0 or self.best_cost == float("inf"):
+            return 1.0
+        if self.baseline_cost == float("inf"):
+            return 1.0
+        return self.baseline_cost / self.best_cost
+
+    def summary(self) -> str:
+        return (f"autoschedule[{self.strategy}]: {len(self.plan)} actions, "
+                f"{self.candidates} candidates ({self.pruned_illegal} "
+                f"illegal pruned, {self.measured} measured), estimated "
+                f"speedup {self.speedup_estimate:.2f}x")
+
+
+_REGISTRY: Dict[str, Strategy] = {}
+
+# Built-in strategies import lazily so `import repro.autosched` stays
+# light; importing a module runs its @register_strategy decorators.
+_BUILTIN_MODULES = (
+    "repro.autosched.pluto",
+    "repro.autosched.search",
+)
+
+
+def register_strategy(strategy_cls):
+    """Class decorator: instantiate and register a Strategy by name."""
+    strategy = (strategy_cls() if isinstance(strategy_cls, type)
+                else strategy_cls)
+    if not getattr(strategy, "name", ""):
+        raise TiramisuError(
+            f"strategy {strategy_cls!r} must define a non-empty 'name'")
+    if not callable(getattr(strategy, "run", None)):
+        raise TiramisuError(
+            f"strategy {strategy.name!r} must implement run(fn, ...)")
+    _REGISTRY[strategy.name] = strategy
+    return strategy_cls
+
+
+def _load_builtins() -> None:
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def registered_strategies() -> List[str]:
+    """All resolvable strategy names (loads the built-ins)."""
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str) -> Strategy:
+    """Resolve a strategy name, loading built-ins on demand."""
+    if name not in _REGISTRY:
+        _load_builtins()
+    if name not in _REGISTRY:
+        raise UnknownStrategyError(
+            f"unknown autoschedule strategy {name!r}; registered "
+            f"strategies: {', '.join(registered_strategies())}")
+    return _REGISTRY[name]
+
+
+def autoschedule(fn, strategy: str = "beam", *,
+                 budget: Optional[int] = None,
+                 oracle=None,
+                 params: Optional[Dict[str, int]] = None,
+                 apply: bool = False,
+                 **kw) -> AutoScheduleResult:
+    """Search for a schedule for ``fn`` and return the winning plan.
+
+    ``strategy`` resolves through the registry ("pluto" | "beam" |
+    "evolutionary" built in); ``budget`` caps the number of candidate
+    plans enumerated; ``oracle`` is any
+    :class:`~repro.autosched.oracle.CostOracle` (defaults to a
+    :class:`~repro.autosched.oracle.ModelOracle` over ``params`` for the
+    search strategies).  ``params`` are the concrete parameter values
+    the default oracle models (e.g. ``{"N": 1060, ...}``).
+
+    ``fn`` is left pristine; pass ``apply=True`` to also apply the
+    winning plan in place before returning.
+    """
+    strat = get_strategy(strategy)
+    result = strat.run(fn, oracle=oracle, budget=budget, params=params,
+                       **kw)
+    if apply:
+        result.plan.apply(fn)
+    return result

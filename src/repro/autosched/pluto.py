@@ -1,4 +1,4 @@
-"""A Pluto-style automatic scheduler (the PENCIL / Pluto / Polly
+"""The Pluto-style greedy strategy (the PENCIL / Pluto / Polly
 comparator of the paper — DESIGN.md substitution table).
 
 The heuristic mirrors what Section II-a describes: "the Pluto automatic
@@ -18,98 +18,178 @@ the control of the generated code".  Concretely:
 4. **Never**: vectorization, unrolling, array packing, register
    blocking, or full/partial-tile separation — the optimizations the
    paper lists as missing from fully automatic compilers.
+
+Since the plan redesign the greedy pass builds a
+:class:`~repro.autosched.plan.SchedulePlan` like every other strategy:
+each probe is a ``push`` and each backtrack a snapshot-restoring
+``pop``, which fixes the old hand-rolled undo (re-calling
+``interchange`` to reverse itself left ``fn._beta``/dependence state
+stale when the second interchange raised).  Use it through
+``autoschedule(fn, strategy="pluto")``; the legacy in-place
+:func:`pluto_schedule` survives as a deprecation shim until 2.0.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.computation import Computation, Input, Operation
-from repro.core.deps import carried_at_level, check_schedule_legality
+from repro.core.computation import Computation
+from repro.core.deps import (carried_at_level, check_schedule_legality,
+                             compute_dependences)
 from repro.core.errors import IllegalScheduleError, ScheduleError
-from repro.ir.expr import accesses_in
+
+from .actions import Fuse, Interchange, Parallelize, Tile
+from .api import AutoScheduleResult, Strategy, register_strategy
+from .plan import SchedulePlan
 
 
 @dataclass
 class AutoScheduleReport:
+    """The legacy per-decision ledger of the greedy pass."""
+
     fused: List[Tuple[str, str, int]] = field(default_factory=list)
     tiled: List[str] = field(default_factory=list)
     parallelized: List[Tuple[str, int]] = field(default_factory=list)
     interchanged: List[str] = field(default_factory=list)
+    candidates: int = 0
+    pruned_illegal: int = 0
 
 
 def _schedulable(fn) -> List[Computation]:
-    return [c for c in fn.active_computations()
-            if not isinstance(c, (Input, Operation)) and c.expr is not None]
+    from .search import schedulable_computations
+    return schedulable_computations(fn)
 
 
 def _producer_pairs(fn) -> List[Tuple[Computation, Computation]]:
-    comps = _schedulable(fn)
-    pairs = []
-    for cons in comps:
-        for acc in accesses_in(cons.expr):
-            prod = acc.computation
-            if prod in comps and prod is not cons \
-                    and (prod, cons) not in pairs:
-                pairs.append((prod, cons))
-    return pairs
+    from .search import producer_pairs
+    return producer_pairs(fn)
 
 
-def _try_fuse(fn, prod: Computation, cons: Computation,
-              report: AutoScheduleReport,
+def _try_fuse(fn, plan: SchedulePlan, prod: Computation,
+              cons: Computation, report: AutoScheduleReport,
               allow_interchange: bool = True) -> bool:
-    """Fuse consumer after producer at the deepest legal shared level."""
+    """Fuse consumer after producer at the deepest legal shared level.
+
+    Every probe goes through the plan: a failed fusion is a ``pop``
+    (exact snapshot restore), including the interchange backtrack —
+    the old code re-called ``interchange`` to undo itself, which left
+    stale ``_beta``/schedule state behind when that second interchange
+    raised partway.
+    """
     max_level = min(len(prod.time_names), len(cons.time_names)) - 1
     for level in range(max_level, -1, -1):
-        mark = len(fn.order_directives)
-        fn.order_after(cons, prod, level)
+        report.candidates += 1
+        try:
+            plan.push(fn, Fuse(cons.name, prod.name, level))
+        except ScheduleError:
+            continue
         try:
             check_schedule_legality(fn)
             report.fused.append((prod.name, cons.name, level))
             return True
         except IllegalScheduleError:
-            del fn.order_directives[mark:]
-            fn._beta = None
+            plan.pop(fn)
+            report.pruned_illegal += 1
     if allow_interchange and len(cons.time_names) >= 2:
         # Pluto willingly permutes loops to enable fusion (minimizing
         # reuse distance), ignoring the spatial-locality cost — the
         # suboptimal gaussian decision of Section VI-B.
-        cons.interchange(cons.time_names[0], cons.time_names[1])
+        report.candidates += 1
+        try:
+            plan.push(fn, Interchange(cons.name, 0, 1))
+        except ScheduleError:
+            return False
         report.interchanged.append(cons.name)
-        if _try_fuse(fn, prod, cons, report, allow_interchange=False):
+        if _try_fuse(fn, plan, prod, cons, report,
+                     allow_interchange=False):
             return True
-        cons.interchange(cons.time_names[0], cons.time_names[1])
+        plan.pop(fn)
         report.interchanged.pop()
     return False
 
 
+def build_pluto_plan(fn, tile_size: int = 32, fuse: bool = True
+                     ) -> Tuple[SchedulePlan, AutoScheduleReport]:
+    """Run the greedy pass and return (plan, report); ``fn`` is left
+    pristine (the plan is built applied, then undone)."""
+    plan = SchedulePlan()
+    report = AutoScheduleReport()
+    try:
+        if fuse:
+            for prod, cons in _producer_pairs(fn):
+                _try_fuse(fn, plan, prod, cons, report)
+        for comp in _schedulable(fn):
+            if len(comp.time_names) >= 2:
+                report.candidates += 1
+                try:
+                    plan.push(fn, Tile(comp.name, 0, 1,
+                                       tile_size, tile_size))
+                    report.tiled.append(comp.name)
+                except ScheduleError:
+                    pass
+        deps = compute_dependences(fn)
+        beta = fn.resolve_order()
+        depth = fn.max_depth()
+        sched: Dict[str, object] = {}
+        rels: Dict[int, object] = {}
+        for comp in _schedulable(fn):
+            for level in range(min(2, len(comp.time_names))):
+                if not carried_at_level(fn, comp, level, deps=deps,
+                                        beta=beta, depth=depth,
+                                        sched=sched, rels=rels):
+                    plan.push(fn, Parallelize(comp.name, level))
+                    report.parallelized.append((comp.name, level))
+                    break
+        # Tiling/parallelization after fusion should be legal; if not,
+        # fail loudly — the auto-scheduler must never emit wrong code.
+        check_schedule_legality(fn)
+    finally:
+        if plan.applied:
+            plan.undo(fn)
+    return plan, report
+
+
+@register_strategy
+class PlutoStrategy(Strategy):
+    """``strategy="pluto"``: the one-shot greedy heuristic (no search,
+    no cost model — the paper's fully-automatic baseline)."""
+
+    name = "pluto"
+
+    def run(self, fn, *, oracle=None, budget: Optional[int] = None,
+            params: Optional[Dict[str, int]] = None,
+            tile_size: int = 32, fuse: bool = True,
+            **kw) -> AutoScheduleResult:
+        plan, report = build_pluto_plan(fn, tile_size=tile_size,
+                                        fuse=fuse)
+        result = AutoScheduleResult(
+            strategy=self.name, plan=plan, report=report,
+            candidates=report.candidates,
+            pruned_illegal=report.pruned_illegal)
+        if oracle is not None:
+            result.baseline_cost = oracle.score(fn, SchedulePlan())
+            result.best_cost = oracle.score(fn, plan)
+        return result
+
+
 def pluto_schedule(fn, tile_size: int = 32,
                    fuse: bool = True) -> AutoScheduleReport:
-    """Apply the automatic schedule to ``fn`` in place."""
-    report = AutoScheduleReport()
-    if fuse:
-        for prod, cons in _producer_pairs(fn):
-            _try_fuse(fn, prod, cons, report)
-    for comp in _schedulable(fn):
-        if len(comp.time_names) >= 2:
-            l0, l1 = comp.time_names[0], comp.time_names[1]
-            try:
-                comp.tile(l0, l1, tile_size, tile_size)
-                report.tiled.append(comp.name)
-            except ScheduleError:
-                pass
-    for comp in _schedulable(fn):
-        for level in range(min(2, len(comp.time_names))):
-            if not carried_at_level(fn, comp, level):
-                comp.parallelize(comp.time_names[level])
-                report.parallelized.append((comp.name, level))
-                break
-    try:
-        check_schedule_legality(fn)
-    except IllegalScheduleError:
-        # Tiling/parallelization after fusion should be legal; if not,
-        # report it loudly — the auto-scheduler must never emit wrong
-        # code.
-        raise
+    """Deprecated: apply the greedy automatic schedule to ``fn`` in
+    place and return the legacy report.
+
+    .. deprecated:: 1.x
+       Use ``repro.autosched.autoschedule(fn, strategy="pluto")``, which
+       returns a reified, undoable
+       :class:`~repro.autosched.plan.SchedulePlan` instead of mutating
+       ``fn``.  This shim will be removed in 2.0.
+    """
+    warnings.warn(
+        "pluto_schedule() is deprecated and will be removed in 2.0; "
+        "use repro.autosched.autoschedule(fn, strategy='pluto') and "
+        "apply (or compile with) the returned plan",
+        DeprecationWarning, stacklevel=2)
+    plan, report = build_pluto_plan(fn, tile_size=tile_size, fuse=fuse)
+    plan.apply(fn)
     return report

@@ -390,6 +390,30 @@ class Computation:
 
     # -- schedule plumbing ---------------------------------------------------
 
+    def schedule_snapshot(self) -> Dict[str, object]:
+        """Copy of this computation's schedule state (time representation,
+        tags, anchor).  Scheduling commands replace ``instances`` and the
+        ``rev`` expressions wholesale but mutate the ``tags`` dict and
+        ``time_names`` list in place, so those are copied; the ISL sets
+        and LinExprs themselves are never mutated and ride by reference.
+        Feed the result to :meth:`restore_schedule` for an exact rollback
+        (the primitive under :class:`repro.autosched.plan.SchedulePlan`)."""
+        return {
+            "time_names": list(self.time_names),
+            "instances": self.instances,
+            "rev": dict(self.rev),
+            "tags": dict(self.tags),
+            "anchor": self.anchor,
+        }
+
+    def restore_schedule(self, snapshot: Dict[str, object]) -> None:
+        """Restore schedule state captured by :meth:`schedule_snapshot`."""
+        self.time_names = list(snapshot["time_names"])
+        self.instances = snapshot["instances"]
+        self.rev = dict(snapshot["rev"])
+        self.tags = dict(snapshot["tags"])
+        self.anchor = snapshot["anchor"]
+
     def forward_schedule(self) -> Map:
         """Map: original domain -> current time dims (a relation; it is
         the inverse of ``rev`` restricted to scheduled instances)."""

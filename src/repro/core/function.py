@@ -104,6 +104,31 @@ class Function:
     def active_computations(self) -> List:
         return [c for c in self.computations if not c.inlined]
 
+    # -- schedule snapshot / restore ---------------------------------------
+
+    def schedule_snapshot(self) -> Dict[str, object]:
+        """Copy of the function-level schedule state: the ordering
+        directives plus every computation's time representation.  Pure
+        schedule transformations (tile/interchange/fuse/tags) are exactly
+        what this covers; commands that create computations (``separate``)
+        or rebind buffers are outside its scope."""
+        return {
+            "order_directives": list(self.order_directives),
+            "computations": {c.name: c.schedule_snapshot()
+                             for c in self.computations},
+        }
+
+    def restore_schedule(self, snapshot: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`schedule_snapshot` and
+        invalidate the cached β resolution."""
+        self.order_directives = list(snapshot["order_directives"])
+        saved = snapshot["computations"]
+        for c in self.computations:
+            snap = saved.get(c.name)
+            if snap is not None:
+                c.restore_schedule(snap)
+        self._beta = None
+
     def max_depth(self) -> int:
         comps = self.active_computations()
         return max((len(c.time_names) for c in comps), default=0)

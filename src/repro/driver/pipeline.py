@@ -65,6 +65,14 @@ BASE_OPTIONS: Dict[str, object] = {
     "max_retries": 2,
     "timeout": None,
     "on_worker_failure": "fallback",
+    # Autoscheduling: a repro.autosched SchedulePlan (or its serialized
+    # JSON) applied for the lowering stages only — the function is
+    # restored afterwards, so the fingerprint always describes the
+    # pristine function and the canonical plan JSON rides in the cache
+    # key.  Auto-scheduled kernels therefore cache correctly in both
+    # tiers, and distinct plans for one function yield distinct
+    # artifacts (docs/autoscheduler.md).
+    "autoschedule": None,
 }
 
 #: The stages a full (cold) compile runs, in order ("legality" and
@@ -72,9 +80,9 @@ BASE_OPTIONS: Dict[str, object] = {
 #: tier active, a warm-from-disk compile instead runs ensure-params ->
 #: fingerprint -> disk-load -> bind, and a cold compile appends a
 #: disk-store stage after bind.
-STAGE_ORDER = ("ensure-params", "fingerprint", "legality",
-               "beta-resolution", "time-space", "ast", "race-check",
-               "emit", "bind")
+STAGE_ORDER = ("ensure-params", "fingerprint", "autoschedule",
+               "legality", "beta-resolution", "time-space", "ast",
+               "race-check", "emit", "bind")
 
 
 class CompilePipeline:
@@ -125,7 +133,30 @@ class CompilePipeline:
             raise TypeError(
                 f"on_worker_failure must be 'retry', 'fallback' or "
                 f"'raise', got {owf!r}")
+        merged["autoschedule"] = self._canonical_plan(
+            merged.get("autoschedule"))
         return merged
+
+    @staticmethod
+    def _canonical_plan(value):
+        """Normalize the ``autoschedule`` option to canonical serialized
+        JSON (or None): equal plans — however spelled — share one cache
+        key, and the stored form is picklable for batch workers."""
+        if value is None:
+            return None
+        from repro.autosched.plan import SchedulePlan, SchedulePlanError
+        if isinstance(value, SchedulePlan):
+            return value.serialize()
+        if isinstance(value, str):
+            try:
+                return SchedulePlan.deserialize(value).serialize()
+            except (SchedulePlanError, ValueError) as err:
+                raise TypeError(
+                    f"autoschedule must be a SchedulePlan or its "
+                    f"serialized JSON: {err}") from None
+        raise TypeError(
+            f"autoschedule must be a SchedulePlan, its serialized JSON, "
+            f"or None, got {type(value).__name__}")
 
     # -- stages -----------------------------------------------------------
 
@@ -218,7 +249,23 @@ class CompilePipeline:
 
     def _lower_and_emit(self, ctx: CompileContext) -> None:
         """The heavy middle of the pipeline: legality through emitted
-        source (everything a cache hit skips)."""
+        source (everything a cache hit skips).  A schedule plan from the
+        ``autoschedule`` option is applied for exactly these stages and
+        undone on every exit path, so the function's observable schedule
+        (and hence its fingerprint) never drifts."""
+        plan = None
+        if ctx.options.get("autoschedule"):
+            from repro.autosched.plan import SchedulePlan
+            plan = SchedulePlan.deserialize(ctx.options["autoschedule"])
+            with ctx.report.timed("autoschedule"):
+                plan.apply(ctx.fn)
+        try:
+            self._lower_and_emit_inner(ctx)
+        finally:
+            if plan is not None:
+                plan.undo(ctx.fn)
+
+    def _lower_and_emit_inner(self, ctx: CompileContext) -> None:
         fn, report, options = ctx.fn, ctx.report, ctx.options
         if options["check_legality"]:
             from repro.core.deps import check_schedule_legality

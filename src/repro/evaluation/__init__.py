@@ -1,11 +1,24 @@
 """Evaluation harness: figure regeneration and model calibration."""
 
-from .calibration import (CalibrationRow, calibrate_kernel,
-                          calibration_table, render_calibration)
+from .autosched_compare import (AutoVsHandRow, auto_vs_hand_table,
+                                compare_kernel, render_auto_vs_hand,
+                                time_kernel)
+from .calibration import (CalibrationFit, CalibrationRow,
+                          calibrate_kernel, calibration_table,
+                          fit_time_scale, fitted_model_oracle,
+                          render_calibration)
 
 __all__ = [
+    "AutoVsHandRow",
+    "CalibrationFit",
     "CalibrationRow",
+    "auto_vs_hand_table",
     "calibrate_kernel",
     "calibration_table",
+    "compare_kernel",
+    "fit_time_scale",
+    "fitted_model_oracle",
+    "render_auto_vs_hand",
     "render_calibration",
+    "time_kernel",
 ]

@@ -123,6 +123,72 @@ def calibration_table(params: Optional[Dict[str, int]] = None
     return rows
 
 
+@dataclass
+class CalibrationFit:
+    """The measured-vs-modeled time-scale fit feeding the autoscheduler.
+
+    ``scale`` converts raw model output into wall-clock seconds for
+    *this* machine and runtime (the way csl-experiments fits its GEMM
+    ``overhead_factor``); :class:`~repro.autosched.oracle.ModelOracle`
+    takes it as its ``scale=``.  ``per_benchmark_error`` is the relative
+    error of the scaled model against measurement per benchmark — the
+    honesty number the tier-2 gate watches.
+    """
+
+    scale: float
+    measured_totals: Dict[str, float]
+    modeled_totals: Dict[str, float]
+    per_benchmark_error: Dict[str, float]
+
+    @property
+    def max_error(self) -> float:
+        return max(self.per_benchmark_error.values(), default=0.0)
+
+    @property
+    def mean_error(self) -> float:
+        errs = list(self.per_benchmark_error.values())
+        return sum(errs) / len(errs) if errs else 0.0
+
+
+def fit_time_scale(rows: List[CalibrationRow]) -> CalibrationFit:
+    """Least-squares (through the origin) fit of measured kernel seconds
+    against modeled seconds over per-benchmark totals:
+    ``scale = sum(meas*model) / sum(model^2)``, the closed-form
+    minimizer of ``sum((scale*model - meas)^2)``."""
+    if not rows:
+        raise ValueError("fit_time_scale needs at least one row")
+    measured: Dict[str, float] = {}
+    modeled: Dict[str, float] = {}
+    for r in rows:
+        measured[r.benchmark] = (measured.get(r.benchmark, 0.0)
+                                 + r.measured_seconds)
+        modeled[r.benchmark] = (modeled.get(r.benchmark, 0.0)
+                                + r.modeled_seconds)
+    denom = sum(m * m for m in modeled.values())
+    if denom <= 0:
+        raise ValueError("fit_time_scale: model predicts zero time")
+    scale = sum(measured[b] * modeled[b] for b in modeled) / denom
+    errors = {
+        b: (abs(scale * modeled[b] - measured[b]) / measured[b]
+            if measured[b] > 0 else 0.0)
+        for b in modeled}
+    return CalibrationFit(scale=scale, measured_totals=measured,
+                          modeled_totals=modeled,
+                          per_benchmark_error=errors)
+
+
+def fitted_model_oracle(params: Optional[Dict[str, int]] = None,
+                        rows: Optional[List[CalibrationRow]] = None,
+                        **oracle_kw):
+    """A :class:`~repro.autosched.oracle.ModelOracle` whose ``scale`` is
+    fitted from measured runs (``rows`` defaults to a fresh
+    :func:`calibration_table` sweep — seconds of profiling).  ``params``
+    are the parameter values the oracle will model during search."""
+    from repro.autosched.oracle import ModelOracle
+    fit = fit_time_scale(rows if rows is not None else calibration_table())
+    return ModelOracle(params, scale=fit.scale, **oracle_kw)
+
+
 def render_calibration(rows: List[CalibrationRow]) -> str:
     """The harness's printable model-vs-measured table."""
     lines = [f"{'benchmark':<10} {'computation':<14} {'iters':>9} "

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.autosched import pluto_schedule
 from repro.kernels.linalg import (PAPER_SGEMM, build_sgemm,
                                   schedule_sgemm_cpu)
 from repro.linalg_lib import cublas_sgemm_time, mkl_sgemm_time

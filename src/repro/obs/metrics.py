@@ -36,6 +36,13 @@ corrupt}`` from the in-process kernel registry,
 on-disk artifact tier, and ``compile_batch.{submitted,deduplicated,
 worker_compiles,inline_compiles,worker_failures,retries,pool_restarts,
 fallbacks}`` from the batch front end.
+
+The autoscheduler (docs/autoscheduler.md) accounts for its search here:
+``autosched.candidates`` (plans enumerated, legal or not),
+``autosched.pruned_illegal`` (killed by the legality checks before any
+oracle sees them), ``autosched.beam_kept`` (survivors carried across
+beam rounds / evolutionary generations), and ``autosched.measured``
+(finalist plans actually compiled and timed by the measured oracle).
 """
 
 from __future__ import annotations

@@ -1,0 +1,156 @@
+"""Tests for the beam/evolutionary search and the autoschedule() API."""
+
+import pytest
+
+from repro.autosched import (CostOracle, ModelOracle, SchedulePlan, Strategy,
+                             UnknownStrategyError, autoschedule, get_strategy,
+                             register_strategy, registered_strategies)
+from repro.autosched import api as autosched_api
+from repro.core.deps import (check_parallel_legality,
+                             check_schedule_legality)
+from repro.driver.pipeline import compile_to_source
+from repro.kernels import build_blur, build_heat, build_sgemm
+from repro.obs.metrics import metrics
+
+PARAMS = {"N": 24, "M": 20, "K": 16}
+
+
+def _beam(fn, **kw):
+    kw.setdefault("budget", 40)
+    kw.setdefault("beam_width", 3)
+    kw.setdefault("rounds", 2)
+    kw.setdefault("params", PARAMS)
+    return autoschedule(fn, strategy="beam", **kw)
+
+
+class RecordingOracle(CostOracle):
+    """Wraps an oracle and asserts every plan it is asked to score is
+    legal — the ISSUE's zero-illegal-plans-reach-the-oracle property."""
+
+    def __init__(self, params):
+        self.inner = ModelOracle(params)
+        self.scored = 0
+
+    def score(self, fn, plan):
+        applied = plan.copy()
+        applied.apply(fn)
+        try:
+            check_schedule_legality(fn)
+            check_parallel_legality(fn)
+        finally:
+            applied.undo(fn)
+        self.scored += 1
+        return self.inner.score(fn, plan)
+
+
+class TestAutoscheduleAPI:
+    def test_unknown_strategy_lists_registered(self):
+        fn = build_sgemm().function
+        with pytest.raises(UnknownStrategyError) as err:
+            autoschedule(fn, strategy="does-not-exist")
+        message = str(err.value)
+        for name in ("beam", "evolutionary", "pluto"):
+            assert name in message
+
+    def test_builtins_registered(self):
+        names = registered_strategies()
+        assert {"beam", "evolutionary", "pluto"} <= set(names)
+        assert get_strategy("beam").name == "beam"
+
+    def test_custom_strategy_registers_and_resolves(self):
+        @register_strategy
+        class NoopStrategy(Strategy):
+            name = "noop-test"
+
+            def run(self, fn, *, oracle=None, budget=None, **kw):
+                from repro.autosched import AutoScheduleResult
+                return AutoScheduleResult(strategy=self.name,
+                                          plan=SchedulePlan())
+
+        try:
+            fn = build_sgemm().function
+            result = autoschedule(fn, strategy="noop-test")
+            assert result.strategy == "noop-test"
+            assert len(result.plan) == 0
+        finally:
+            autosched_api._REGISTRY.pop("noop-test", None)
+
+    def test_apply_flag_applies_plan(self):
+        fn = build_sgemm().function
+        before = compile_to_source(fn, "cpu", cache=False)["source"]
+        result = _beam(fn, apply=True)
+        assert result.plan.applied
+        if len(result.plan):
+            after = compile_to_source(fn, "cpu", cache=False)["source"]
+            assert after != before
+        result.plan.undo(fn)
+        assert compile_to_source(fn, "cpu", cache=False)["source"] == before
+
+
+class TestBeamSearch:
+    def test_beam_improves_and_leaves_fn_pristine(self):
+        bundle = build_sgemm()
+        fn = bundle.function
+        before = compile_to_source(fn, "cpu", cache=False)["source"]
+        result = _beam(fn)
+        assert compile_to_source(fn, "cpu", cache=False)["source"] == before
+        assert len(result.plan) >= 1
+        assert result.best_cost <= result.baseline_cost
+        assert result.speedup_estimate >= 1.0
+        assert result.candidates > 0
+
+    def test_budget_bounds_candidates(self):
+        fn = build_sgemm().function
+        result = _beam(fn, budget=10, rounds=5)
+        assert result.candidates <= 10
+
+    def test_only_legal_plans_reach_the_oracle(self):
+        oracle = RecordingOracle(PARAMS)
+        fn = build_blur().function
+        result = _beam(fn, oracle=oracle)
+        assert oracle.scored > 0
+        assert result.best_cost <= result.baseline_cost
+
+    def test_heat_respects_time_carried_dependence(self):
+        """The t loop of the heat stencil carries a dependence; beam
+        must never parallelize it (level 0)."""
+        fn = build_heat().function
+        result = _beam(fn, params={"T": 6, "N": 18})
+        assert not any(a.kind == "parallelize" and a.level == 0
+                       for a in result.plan)
+        result.plan.apply(fn)
+        check_schedule_legality(fn)
+        check_parallel_legality(fn)
+        result.plan.undo(fn)
+
+    @pytest.mark.parametrize("builder", [build_sgemm, build_blur,
+                                         build_heat],
+                             ids=lambda b: b.__name__)
+    def test_beam_plans_verify(self, builder):
+        bundle = builder()
+        result = _beam(bundle.function, params=bundle.test_params)
+        result.plan.apply(bundle.function)
+        assert bundle.verify(atol=1e-3)
+
+    def test_metrics_counters_flow(self):
+        fn = build_sgemm().function
+        before = metrics.counter("autosched.candidates").value
+        result = _beam(fn)
+        after = metrics.counter("autosched.candidates").value
+        assert after - before == result.candidates
+        assert metrics.counter("autosched.beam_kept").value > 0
+
+
+class TestEvolutionarySearch:
+    def test_evolutionary_smoke(self):
+        bundle = build_sgemm()
+        fn = bundle.function
+        before = compile_to_source(fn, "cpu", cache=False)["source"]
+        result = autoschedule(fn, strategy="evolutionary", budget=40,
+                              params=PARAMS, generations=2, population=4,
+                              rounds=1, beam_width=2, seed=0)
+        assert compile_to_source(fn, "cpu", cache=False)["source"] == before
+        assert result.best_cost <= result.baseline_cost
+        result.plan.apply(fn)
+        check_schedule_legality(fn)
+        assert bundle.verify(atol=1e-3)

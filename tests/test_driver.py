@@ -200,9 +200,10 @@ class TestCompileReport:
         f, _ = build_simple()
         report = f.compile("cpu").report
         assert not report.cache_hit
-        # "legality" and "race-check" are conditional stages.
+        # "autoschedule", "legality" and "race-check" are conditional
+        # stages (plan passed / option on / parallel execution).
         expected = [s for s in STAGE_ORDER
-                    if s not in ("legality", "race-check")]
+                    if s not in ("autoschedule", "legality", "race-check")]
         assert report.stage_names() == expected
         assert report.total_seconds > 0
         assert report.source_size > 0

@@ -1,0 +1,173 @@
+"""Property tests for SchedulePlan: exact undo, atomic apply, and a
+canonical JSON round-trip (the ISSUE acceptance criteria).
+
+The invariants, checked against *emitted source* (the strongest
+observable the driver has):
+
+* apply -> undo is byte-identical for random legal action sequences;
+* serialize -> deserialize -> apply emits the same source as applying
+  the original plan;
+* a failing apply rolls back completely (atomicity);
+* lifecycle misuse and malformed JSON fail loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.autosched import (ActionError, Fuse, Interchange, Parallelize,
+                             SchedulePlan, SchedulePlanError, Tile, Unroll,
+                             Vectorize, enumerate_actions)
+from repro.core.deps import (check_parallel_legality,
+                             check_schedule_legality)
+from repro.core.errors import IllegalScheduleError, ScheduleError
+from repro.driver.pipeline import compile_to_source
+from repro.kernels import build_blur, build_heat, build_sgemm
+
+
+def _source(fn) -> str:
+    return compile_to_source(fn, "cpu", cache=False)["source"]
+
+
+def _random_legal_plan(fn, rng: random.Random,
+                       max_actions: int = 4) -> SchedulePlan:
+    """Grow a plan by random picks from the search's own action menu,
+    keeping only pushes that survive the legality checks."""
+    plan = SchedulePlan()
+    for _ in range(max_actions):
+        menu = enumerate_actions(fn)
+        if not menu:
+            break
+        action = rng.choice(menu)
+        try:
+            plan.push(fn, action)
+        except (ScheduleError, ActionError):
+            continue
+        try:
+            check_schedule_legality(fn)
+            check_parallel_legality(fn)
+        except IllegalScheduleError:
+            plan.pop(fn)
+    return plan
+
+
+BUILDERS = [build_sgemm, build_blur, build_heat]
+SEEDS = [0, 1, 2]
+
+
+@pytest.mark.parametrize("builder", BUILDERS,
+                         ids=[b.__name__ for b in BUILDERS])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_apply_undo_byte_identical_and_roundtrip(builder, seed):
+    fn = builder().function
+    before = _source(fn)
+    rng = random.Random(seed)
+
+    plan = _random_legal_plan(fn, rng)
+    applied_src = _source(fn)
+
+    plan.undo(fn)
+    assert _source(fn) == before, \
+        f"undo of {plan.serialize()} did not restore the schedule"
+
+    # serialize -> deserialize -> apply on a fresh build emits the same
+    # source as the directly-built plan did.
+    blob = plan.serialize()
+    clone = SchedulePlan.deserialize(blob)
+    assert clone == plan
+    assert clone.serialize() == blob
+
+    fn2 = builder().function
+    clone.apply(fn2)
+    assert _source(fn2) == applied_src
+    clone.undo(fn2)
+    assert _source(fn2) == before
+
+
+def test_apply_is_atomic_on_mid_sequence_failure():
+    fn = build_sgemm().function
+    before = _source(fn)
+    bad = SchedulePlan([
+        Interchange("acc", 0, 1),               # fine
+        Tile("acc", 0, 2, 16, 16),              # non-consecutive: raises
+    ])
+    with pytest.raises(ScheduleError):
+        bad.apply(fn)
+    assert not bad.applied
+    assert _source(fn) == before
+
+    unknown = SchedulePlan([Vectorize("nope", 0, 8)])
+    with pytest.raises(ActionError):
+        unknown.apply(fn)
+    assert _source(fn) == before
+
+
+def test_push_restores_on_partial_mutation():
+    """tile = split+split+interchange; a push whose action fails partway
+    must still leave the function untouched."""
+    fn = build_sgemm().function
+    before = _source(fn)
+    plan = SchedulePlan()
+    with pytest.raises((ScheduleError, ActionError)):
+        plan.push(fn, Tile("acc", 1, 3, 16, 16))
+    assert len(plan) == 0
+    assert _source(fn) == before
+
+
+def test_lifecycle_misuse_raises():
+    fn = build_sgemm().function
+    plan = SchedulePlan([Parallelize("acc", 0)])
+
+    with pytest.raises(SchedulePlanError):
+        plan.undo()                      # never applied
+    with pytest.raises(SchedulePlanError):
+        plan.push(fn, Unroll("acc", 2, 2))   # non-empty but unapplied
+
+    plan.apply(fn)
+    with pytest.raises(SchedulePlanError):
+        plan.apply(fn)                   # double apply
+    other = build_sgemm().function
+    with pytest.raises(SchedulePlanError):
+        plan.undo(other)                 # wrong function
+    plan.undo(fn)
+
+    with pytest.raises(SchedulePlanError):
+        SchedulePlan().pop()             # empty
+
+
+def test_deserialize_rejects_malformed_input():
+    with pytest.raises(SchedulePlanError):
+        SchedulePlan.deserialize("not json")
+    with pytest.raises(SchedulePlanError):
+        SchedulePlan.deserialize("[1, 2]")
+    with pytest.raises(SchedulePlanError):
+        SchedulePlan.deserialize('{"version": 99, "actions": []}')
+    with pytest.raises(SchedulePlanError):
+        SchedulePlan.deserialize('{"version": 1}')
+    with pytest.raises(ActionError):
+        SchedulePlan.deserialize(
+            '{"version": 1, "actions": [{"kind": "warp"}]}')
+    with pytest.raises(ActionError):
+        SchedulePlan.deserialize(
+            '{"version": 1, "actions": [{"kind": "unroll"}]}')
+
+
+def test_canonical_serialization_is_order_sensitive_identity():
+    a = SchedulePlan([Interchange("acc", 0, 1), Vectorize("acc", 2, 8)])
+    b = SchedulePlan([Vectorize("acc", 2, 8), Interchange("acc", 0, 1)])
+    assert a != b
+    assert a.serialize() != b.serialize()
+    assert a == SchedulePlan.deserialize(a.serialize())
+    assert hash(a) == hash(SchedulePlan.deserialize(a.serialize()))
+
+
+def test_copy_and_extended_are_unapplied():
+    fn = build_sgemm().function
+    plan = SchedulePlan([Interchange("acc", 0, 1)])
+    plan.apply(fn)
+    dup = plan.copy()
+    ext = plan.extended(Vectorize("acc", 2, 8))
+    assert not dup.applied and not ext.applied
+    assert len(ext) == 2
+    plan.undo(fn)
+    assert Fuse("a", "b", 0).to_json()["kind"] == "fuse"
