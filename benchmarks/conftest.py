@@ -6,11 +6,22 @@ them next to the paper's values, and (b) asserts the *shape* — who wins,
 roughly by how much — rather than absolute times (see DESIGN.md).
 Wall-clock micro-benchmarks of the real generated code run under
 pytest-benchmark in test_wallclock.py.
+
+Benchmarks also feed the perf trajectory (:mod:`repro.obs.bench`):
+call :func:`bench_note` with a gate's headline numbers and the session
+hook appends them — one entry per pytest run — to ``BENCH_obs.json``
+(``TIRAMISU_BENCH_FILE`` overrides), where
+``python -m repro.obs.bench --compare`` gates on drift across runs.
 """
 
 import sys
 
 import pytest
+
+from repro.obs import bench as obs_bench
+
+#: The session's collected trajectory metrics ({metric: value}).
+_session_notes = {}
 
 
 def print_table(title: str, rows) -> None:
@@ -21,3 +32,29 @@ def print_table(title: str, rows) -> None:
     else:
         out.append(str(rows))
     print("\n".join(out), file=sys.stderr)
+
+
+def bench_note(name: str, value) -> None:
+    """Record one trajectory metric for this pytest session.  Metric
+    names pick their regression direction by suffix (``*_seconds`` /
+    ``*_ratio`` regress upward, ``*_speedup`` downward); last write
+    wins within a session."""
+    _session_notes[str(name)] = float(value)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append everything :func:`bench_note` collected as one trajectory
+    entry.  Recording never fails the benchmark run — a read-only
+    checkout just skips the trajectory."""
+    if not _session_notes:
+        return
+    try:
+        obs_bench.record_entry(
+            dict(_session_notes),
+            meta={"exitstatus": int(exitstatus),
+                  "tests": int(session.testscollected)})
+    except (OSError, ValueError, TypeError) as err:
+        print(f"\n[bench] trajectory not recorded: {err}",
+              file=sys.stderr)
+    finally:
+        _session_notes.clear()

@@ -15,7 +15,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import print_table
+from conftest import bench_note, print_table
 from repro.autosched import (MeasuredOracle, ModelOracle, autoschedule)
 from repro.autosched.search import beam_search
 from repro.evaluation.autosched_compare import compare_kernel, time_kernel
@@ -38,6 +38,9 @@ class TestAutoVsHand:
                      "hand": round(row.hand_seconds * 1e3, 2),
                      "auto": round(row.auto_seconds * 1e3, 2),
                      "auto/hand": round(row.auto_vs_hand, 3)})
+        bench_note("sgemm_auto_seconds", row.auto_seconds)
+        bench_note("sgemm_hand_seconds", row.hand_seconds)
+        bench_note("autosched_sgemm_vs_hand_ratio", row.auto_vs_hand)
         assert row.candidates <= budget
         assert row.auto_vs_hand <= 1.2
 
@@ -70,6 +73,9 @@ class TestAutoVsHand:
                      "auto": round(auto_s * 1e3, 2),
                      "auto/hand": round(auto_s / hand_s, 3),
                      "plan": result.plan.serialize()})
+        bench_note("conv_auto_seconds", auto_s)
+        bench_note("conv_hand_seconds", hand_s)
+        bench_note("autosched_conv_vs_hand_ratio", auto_s / hand_s)
         assert auto_s <= 1.2 * hand_s
 
 

@@ -13,7 +13,7 @@ import subprocess
 import sys
 import time
 
-from conftest import print_table
+from conftest import bench_note, print_table
 from repro.driver import compile_batch, kernel_registry
 from repro.kernels import build_sgemm, schedule_sgemm_cpu
 
@@ -76,6 +76,9 @@ class TestDiskCachePerf:
             "cold compile (ms)": round(cold["seconds"] * 1e3, 2),
             "warm-from-disk (ms)": round(warm["seconds"] * 1e3, 2),
             "speedup": round(speedup, 1)})
+        bench_note("compile_cold_seconds", cold["seconds"])
+        bench_note("compile_warm_disk_seconds", warm["seconds"])
+        bench_note("disk_warm_speedup", speedup)
         assert speedup >= 10.0, (
             f"warm-from-disk only {speedup:.1f}x faster than cold")
 
@@ -108,6 +111,7 @@ class TestBatchDedupPerf:
         assert kernels[0].source == solo.source
 
         ratio = batch_seconds / one_compile
+        bench_note("batch_dedup_ratio", ratio)
         print_table("batch dedup: 8x identical sgemm requests", {
             "one compile (ms)": round(one_compile * 1e3, 2),
             "8-dup batch (ms)": round(batch_seconds * 1e3, 2),

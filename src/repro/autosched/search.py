@@ -37,6 +37,9 @@ from repro.core.deps import (carried_at_level, check_parallel_legality,
                              check_schedule_legality, compute_dependences)
 from repro.core.errors import IllegalScheduleError, ScheduleError
 from repro.ir.expr import accesses_in
+from repro.obs.events import (EVT_SEARCH, compile_context,
+                              current_compile_id, new_compile_id)
+from repro.obs.events import emit as emit_event
 from repro.obs.metrics import metrics
 from repro.obs.tracer import get_tracer
 
@@ -193,6 +196,7 @@ def _try_extension(fn, applied: SchedulePlan, action: ScheduleAction,
         applied.pop(fn)
         report.pruned_illegal += 1
         metrics.counter("autosched.pruned_illegal").inc()
+        emit_event("search.prune", EVT_SEARCH, action=repr(action))
         return False
 
 
@@ -215,6 +219,9 @@ def _expand(fn, plan: SchedulePlan, budget: _Budget, seen: set,
             if _try_extension(fn, applied, action, report):
                 applied.pop(fn)
                 out.append(candidate)
+                emit_event("search.candidate", EVT_SEARCH,
+                           action=repr(action),
+                           depth=len(candidate.actions))
     finally:
         if applied.applied:
             applied.undo()
@@ -235,9 +242,29 @@ def beam_search(fn, oracle: CostOracle, *, beam_width: int = 4,
     improve monotonically).  When ``measure_oracle`` is given, the
     ``measure_top_k`` best distinct plans are re-ranked by measurement
     and the measured winner is returned.  ``fn`` is left pristine.
+
+    The whole search runs under one ambient journal correlation id
+    (inherited when a batch or caller installed one), so its round /
+    candidate / prune / measure events — and the compiles a
+    ``MeasuredOracle`` triggers — tell one story in the event log.
     """
+    with compile_context(current_compile_id() or new_compile_id()):
+        return _beam_search_inner(
+            fn, oracle, beam_width=beam_width, rounds=rounds,
+            budget=budget, measure_oracle=measure_oracle,
+            measure_top_k=measure_top_k, report=report)
+
+
+def _beam_search_inner(fn, oracle: CostOracle, *, beam_width: int,
+                       rounds: int, budget: Optional[int],
+                       measure_oracle: Optional[CostOracle],
+                       measure_top_k: int,
+                       report: Optional[SearchReport]
+                       ) -> Tuple[SchedulePlan, SearchReport]:
     tracer = get_tracer()
     report = report or SearchReport(strategy="beam")
+    emit_event("search.begin", EVT_SEARCH, strategy=report.strategy,
+               function=fn.name, beam_width=beam_width, rounds=rounds)
     budget_ = _Budget(budget)
     baseline = SchedulePlan()
     report.baseline_cost = oracle.score(fn, baseline)
@@ -264,6 +291,9 @@ def beam_search(fn, oracle: CostOracle, *, beam_width: int = 4,
             best_pool[plan.serialize()] = (plan, cost)
         report.history.append(
             (round_no, min(c for _, c in best_pool.values())))
+        emit_event("search.round", EVT_SEARCH, round=round_no,
+                   frontier=len(frontier), kept=len(beam),
+                   best_cost=report.history[-1][1])
 
     finalists = sorted(best_pool.values(),
                        key=lambda pc: (pc[1], pc[0].serialize()))
@@ -271,6 +301,7 @@ def beam_search(fn, oracle: CostOracle, *, beam_width: int = 4,
 
     if measure_oracle is not None and len(finalists) > 1:
         top = [p for p, _ in finalists[:max(2, measure_top_k)]]
+        emit_event("search.measure", EVT_SEARCH, finalists=len(top))
         with tracer.span("autosched.measure", cat="autosched",
                          finalists=len(top)):
             measured = measure_oracle.rank(fn, top)
@@ -278,6 +309,10 @@ def beam_search(fn, oracle: CostOracle, *, beam_width: int = 4,
         best_plan, best_cost = measured[0]
 
     report.best_cost = best_cost
+    emit_event("search.end", EVT_SEARCH, strategy=report.strategy,
+               rounds=report.rounds, candidates=report.candidates,
+               pruned=report.pruned_illegal, best_cost=best_cost,
+               actions=len(best_plan.actions))
     return best_plan, report
 
 
@@ -331,6 +366,21 @@ def evolutionary_search(fn, oracle: CostOracle, *,
     legality, rank, and keep the ``population`` cheapest.  Deterministic
     for a fixed ``seed``.
     """
+    with compile_context(current_compile_id() or new_compile_id()):
+        return _evolutionary_search_inner(
+            fn, oracle, generations=generations, population=population,
+            budget=budget, seed=seed, beam_width=beam_width,
+            rounds=rounds, measure_oracle=measure_oracle,
+            measure_top_k=measure_top_k)
+
+
+def _evolutionary_search_inner(fn, oracle: CostOracle, *,
+                               generations: int, population: int,
+                               budget: Optional[int], seed: int,
+                               beam_width: int, rounds: int,
+                               measure_oracle: Optional[CostOracle],
+                               measure_top_k: int
+                               ) -> Tuple[SchedulePlan, SearchReport]:
     report = SearchReport(strategy="evolutionary")
     best_plan, report = beam_search(
         fn, oracle, beam_width=beam_width, rounds=rounds, budget=budget,
@@ -382,16 +432,24 @@ def evolutionary_search(fn, oracle: CostOracle, *,
         current = [p for p, _ in keep]
         report.history.append(
             (rounds + gen, min(c for _, c in pool.values())))
+        emit_event("search.round", EVT_SEARCH, round=rounds + gen,
+                   generation=gen, frontier=len(candidates),
+                   kept=len(keep), best_cost=report.history[-1][1])
 
     finalists = sorted(pool.values(),
                        key=lambda pc: (pc[1], pc[0].serialize()))
     best_plan, best_cost = finalists[0]
     if measure_oracle is not None and len(finalists) > 1:
         top = [p for p, _ in finalists[:max(2, measure_top_k)]]
+        emit_event("search.measure", EVT_SEARCH, finalists=len(top))
         measured = measure_oracle.rank(fn, top)
         report.measured += len(top)
         best_plan, best_cost = measured[0]
     report.best_cost = best_cost
+    emit_event("search.end", EVT_SEARCH, strategy=report.strategy,
+               rounds=report.rounds, candidates=report.candidates,
+               pruned=report.pruned_illegal, best_cost=best_cost,
+               actions=len(best_plan.actions))
     return best_plan, report
 
 

@@ -57,6 +57,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import ExecutionError, WorkerFailureError
+from repro.obs.events import EVT_PARALLEL
+from repro.obs.events import emit as emit_event
 
 from .common import resolve_timeout
 
@@ -402,9 +404,14 @@ class ParallelRuntime:
             except WorkerFailureError as exc:
                 failure = exc
                 metrics.counter("parallel.worker_failures").inc()
+                emit_event("parallel.worker_failure", EVT_PARALLEL,
+                           region=region, attempt=attempt,
+                           error=str(exc))
                 _discard_pool(self.num_threads)
                 self.stats.pool_restarts += 1
                 metrics.counter("parallel.pool_restarts").inc()
+                emit_event("parallel.pool_restart", EVT_PARALLEL,
+                           workers=self.num_threads)
                 if snapshot is not None:
                     for name, saved in snapshot.items():
                         self._views[name][...] = saved
@@ -413,6 +420,9 @@ class ParallelRuntime:
                     metrics.counter("parallel.retries").inc()
                     self._trace_fault(f"parallel:retry:{body.__name__}",
                                       attempt=attempt + 1, reason=str(exc))
+                    emit_event("parallel.retry", EVT_PARALLEL,
+                               region=region, attempt=attempt + 1,
+                               backoff_seconds=delay)
                     time.sleep(delay)
                     delay *= 2
                     if _get_pool(self.num_threads) is None:
@@ -422,6 +432,8 @@ class ParallelRuntime:
             metrics.counter("parallel.sequential_fallbacks").inc()
             self._trace_fault(f"parallel:fallback:{body.__name__}",
                               region=region, reason=str(failure))
+            emit_event("parallel.fallback", EVT_PARALLEL, region=region,
+                       reason=str(failure))
             self._run_inline(body, params, lo, hi, obs)
             return
         raise failure
@@ -485,6 +497,9 @@ class ParallelRuntime:
                 except FuturesTimeoutError:
                     self.stats.chunk_timeouts += 1
                     metrics.counter("parallel.chunk_timeouts").inc()
+                    emit_event("parallel.chunk_timeout", EVT_PARALLEL,
+                               region=region, chunk_lo=clo, chunk_hi=chi,
+                               timeout_seconds=self.timeout)
                     raise WorkerFailureError(
                         f"parallel region {body.__name__}: chunk "
                         f"[{clo}, {chi}] exceeded the {self.timeout:g}s "
@@ -537,9 +552,18 @@ class ParallelRuntime:
     @staticmethod
     def _trace_fault(name: str, **args) -> None:
         """Drop a zero-length marker span on the tracer timeline so
-        retries and fallbacks are visible next to chunk spans."""
-        from repro.obs.tracer import CAT_FAULT, get_tracer
+        retries and fallbacks are visible next to chunk spans.
+
+        Fault paths also flush the trace file eagerly: a run that is
+        crashing workers may not live to the atexit handler, and the
+        export is atomic, so flushing mid-run costs nothing but leaves
+        evidence on disk."""
+        from repro.obs.tracer import CAT_FAULT, get_tracer, write_trace_file
         tracer = get_tracer()
         if tracer.enabled():
             now = time.perf_counter_ns()
             tracer.add_span(name, CAT_FAULT, now, now, **args)
+            try:
+                write_trace_file()
+            except OSError:
+                pass  # telemetry must never take the run down

@@ -48,6 +48,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.errors import WorkerFailureError
+from repro.obs.events import (EVT_BATCH, compile_context, emit,
+                              new_compile_id)
 
 from .pipeline import CompilePipeline, compile_to_source
 from .registry import get_backend
@@ -57,10 +59,13 @@ from .registry import get_backend
 RETRY_BACKOFF = 0.05
 
 
-def _compile_source_job(fn, target: str, options: Dict[str, object]):
+def _compile_source_job(fn, target: str, options: Dict[str, object],
+                        compile_id: Optional[str] = None):
     """What a pool worker runs: the heavy pipeline stages, returning a
-    picklable artifact for the parent to bind."""
-    return compile_to_source(fn, target, **options)
+    picklable artifact for the parent to bind.  ``compile_id`` carries
+    the submit-time correlation id across the process boundary, so the
+    worker's journal events join the parent's."""
+    return compile_to_source(fn, target, compile_id=compile_id, **options)
 
 
 @dataclass
@@ -102,6 +107,11 @@ class _Job:
         self.target = target
         self.options = options          # raw, re-normalized by the pipeline
         self.normalized = normalized
+        # The correlation id for this job's whole story: issued at
+        # submit time, installed as the ambient compile_context around
+        # the job's compile (so the pipeline adopts it), and shipped
+        # explicitly to pool workers.
+        self.compile_id = new_compile_id()
         self.future: Future = Future()
         self.handles: List["CompileHandle"] = []
 
@@ -118,6 +128,12 @@ class CompileHandle:
     @property
     def fingerprint(self) -> str:
         return self._job.fingerprint
+
+    @property
+    def compile_id(self) -> str:
+        """The job's journal correlation id (shared by duplicate
+        handles, since they share the compile)."""
+        return self._job.compile_id
 
     @property
     def target(self) -> str:
@@ -225,11 +241,17 @@ class BatchCompiler:
             if job is not None:
                 self.stats.deduplicated += 1
                 metrics.counter("compile_batch.deduplicated").inc()
+                emit("batch.dedup", EVT_BATCH,
+                     compile_id=job.compile_id, function=fn.name,
+                     key=fingerprint[:16])
                 handle = CompileHandle(job, request)
                 job.handles.append(handle)
                 return handle
             job = _Job(fingerprint, fn, resolved_target, opts, normalized)
             self._jobs[fingerprint] = job
+        emit("batch.submit", EVT_BATCH, compile_id=job.compile_id,
+             function=fn.name, target=resolved_target,
+             key=fingerprint[:16])
         handle = CompileHandle(job, request)
         job.handles.append(handle)
         thread_future = self._threads.submit(self._run_job, job)
@@ -264,6 +286,13 @@ class BatchCompiler:
                         getattr(self.stats, name) + delta)
 
     def _run_job(self, job: _Job):
+        # Coordinating threads do not inherit the submitter's
+        # contextvars, so the job's id is installed explicitly here;
+        # everything the pipeline emits below joins it.
+        with compile_context(job.compile_id):
+            return self._run_job_inner(job)
+
+    def _run_job_inner(self, job: _Job):
         pipeline = self._pipeline(job.target)
         if self._offloadable(pipeline, job):
             artifact = self._compile_in_worker(job)
@@ -344,7 +373,8 @@ class BatchCompiler:
                 break
             try:
                 future = pool.submit(_compile_source_job, job.fn,
-                                     job.target, job.options)
+                                     job.target, job.options,
+                                     job.compile_id)
             except Exception:  # noqa: BLE001 - submit-time pickling
                 return None
             try:
@@ -364,12 +394,20 @@ class BatchCompiler:
             # propagates to every handle of this fingerprint.
             self._count(worker_failures=1)
             metrics.counter("compile_batch.worker_failures").inc()
+            emit("batch.worker_failure", EVT_BATCH,
+                 compile_id=job.compile_id, function=job.fn.name,
+                 attempt=attempt, error=str(failure))
             discard_pool(self.workers)
             self._count(pool_restarts=1)
             metrics.counter("compile_batch.pool_restarts").inc()
+            emit("batch.pool_restart", EVT_BATCH,
+                 compile_id=job.compile_id, workers=self.workers)
             if attempt + 1 < attempts:
                 self._count(retries=1)
                 metrics.counter("compile_batch.retries").inc()
+                emit("batch.retry", EVT_BATCH,
+                     compile_id=job.compile_id, function=job.fn.name,
+                     attempt=attempt + 1, backoff_seconds=delay)
                 time.sleep(delay)
                 delay *= 2
                 if get_pool(self.workers) is None:
@@ -378,6 +416,8 @@ class BatchCompiler:
             raise failure
         self._count(fallbacks=1)
         metrics.counter("compile_batch.fallbacks").inc()
+        emit("batch.fallback", EVT_BATCH, compile_id=job.compile_id,
+             function=job.fn.name)
         return None
 
 

@@ -84,6 +84,8 @@ class CompileCache:
             from repro.obs.metrics import metrics
             metrics.counter("cache.corruption_misses").inc()
             metrics.counter("compile_cache.memory.corrupt").inc()
+            from repro.obs.events import EVT_CACHE, emit
+            emit("cache.memory.corrupt", EVT_CACHE, key=key[:16])
             return None
         self._entries.move_to_end(key)
         return entry

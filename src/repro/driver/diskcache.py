@@ -127,6 +127,7 @@ class DiskCache:
         every process).  Any damage — truncated pickle, wrong schema,
         digest mismatch — quarantines the file, counts a corruption,
         and answers a miss so the caller recompiles."""
+        from repro.obs.events import EVT_CACHE, emit
         from repro.obs.metrics import metrics
         path = self.path_for(key)
         try:
@@ -134,6 +135,7 @@ class DiskCache:
         except OSError:
             self.misses += 1
             metrics.counter("compile_cache.disk.miss").inc()
+            emit("cache.disk.miss", EVT_CACHE, key=key[:16])
             return None
         entry = self._decode(key, raw)
         if entry is None:
@@ -142,6 +144,7 @@ class DiskCache:
             self.misses += 1
             metrics.counter("compile_cache.disk.corrupt").inc()
             metrics.counter("compile_cache.disk.miss").inc()
+            emit("cache.disk.quarantine", EVT_CACHE, key=key[:16])
             return None
         try:
             os.utime(path)
@@ -149,6 +152,7 @@ class DiskCache:
             pass  # raced an eviction; the loaded entry is still valid
         self.hits += 1
         metrics.counter("compile_cache.disk.hit").inc()
+        emit("cache.disk.hit", EVT_CACHE, key=key[:16])
         return entry
 
     def _decode(self, key: str, raw: bytes) -> Optional[DiskEntry]:
@@ -222,6 +226,7 @@ class DiskCache:
         """Trim the tier under ``max_bytes``, oldest mtime first.  The
         newest artifact always survives (a single artifact larger than
         the bound would otherwise make the tier useless)."""
+        from repro.obs.events import EVT_CACHE, emit
         from repro.obs.metrics import metrics
         artifacts = self._artifacts()
         total = sum(st.st_size for _, st in artifacts)
@@ -234,6 +239,8 @@ class DiskCache:
             total -= st.st_size
             self.evictions += 1
             metrics.counter("compile_cache.disk.evict").inc()
+            emit("cache.disk.evict", EVT_CACHE,
+                 key=path.name[:-len(_SUFFIX)][:16], bytes=st.st_size)
 
     # -- management -----------------------------------------------------
 

@@ -29,6 +29,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.events import (EVT_CACHE, EVT_COMPILE, EVT_SEARCH,
+                              compile_context, current_compile_id,
+                              new_compile_id)
+from repro.obs.events import emit as emit_event
+
 from .cache import CacheEntry, CompileCache, kernel_registry
 from .context import CompileContext
 from .diskcache import active_disk_cache
@@ -234,11 +239,21 @@ class CompilePipeline:
 
     def _begin(self, fn, options: Dict[str, object]) -> CompileContext:
         """The stages every entry point shares: build the report and
-        context, materialize params, fingerprint."""
-        report = CompileReport(function=fn.name, target=self.backend.name)
+        context, materialize params, fingerprint.
+
+        The report's ``compile_id`` is the ambient correlation id when
+        one is installed (a batch job's submit-time id, a search's
+        measurement context), else freshly issued here — either way it
+        labels this compile's journal events and tracer spans."""
+        report = CompileReport(function=fn.name, target=self.backend.name,
+                               compile_id=(current_compile_id()
+                                           or new_compile_id()))
         ctx = CompileContext(fn=fn, target=self.backend.name,
                              options=options, backend=self.backend,
                              report=report)
+        emit_event("compile.begin", EVT_COMPILE,
+                   compile_id=report.compile_id, function=fn.name,
+                   target=self.backend.name)
         with report.timed("ensure-params"):
             self._ensure_params(ctx)
         with report.timed("fingerprint"):
@@ -259,6 +274,10 @@ class CompilePipeline:
             plan = SchedulePlan.deserialize(ctx.options["autoschedule"])
             with ctx.report.timed("autoschedule"):
                 plan.apply(ctx.fn)
+            emit_event("search.plan_apply", EVT_SEARCH,
+                       compile_id=ctx.report.compile_id,
+                       function=ctx.fn.name,
+                       actions=len(getattr(plan, "actions", ()) or ()))
         try:
             self._lower_and_emit_inner(ctx)
         finally:
@@ -315,20 +334,32 @@ class CompilePipeline:
 
     def run(self, fn, **opts):
         """Compile ``fn`` through the staged pipeline; returns a kernel
-        with a ``report`` attribute."""
-        options = self.normalize_options(opts)
-        ctx = self._begin(fn, options)
-        report = ctx.report
+        with a ``report`` attribute.
 
+        The whole compile runs under an ambient
+        :func:`~repro.obs.events.compile_context`, so every journal
+        event the cache tiers and lowering stages emit carries this
+        compile's correlation id without threading it explicitly."""
+        options = self.normalize_options(opts)
+        with compile_context(current_compile_id() or new_compile_id()):
+            ctx = self._begin(fn, options)
+            return self._run_body(ctx)
+
+    def _run_body(self, ctx: CompileContext):
+        report, options = ctx.report, ctx.options
         use_cache = bool(options["cache"])
         if use_cache:
             entry = self._cache_lookup(ctx)
             if entry is not None:
+                emit_event("cache.memory.hit", EVT_CACHE,
+                           key=ctx.fingerprint[:16])
                 report.cache_hit = True
                 report.source_size = len(entry.source)
                 if options["verbose"]:
                     print(entry.source)
                 return self._finish(ctx, entry.kernel)
+            emit_event("cache.memory.miss", EVT_CACHE,
+                       key=ctx.fingerprint[:16])
             disk = self._disk_tier()
             if disk is not None:
                 with report.timed("disk-load"):
@@ -367,23 +398,24 @@ class CompilePipeline:
         wherever it was paid.  The bound kernel is published to both
         cache tiers exactly as a local cold compile would be."""
         options = self.normalize_options(opts)
-        ctx = self._begin(fn, options)
-        if fingerprint and fingerprint != ctx.fingerprint:
-            raise ValueError(
-                f"precompiled artifact fingerprint {fingerprint[:16]} "
-                f"does not match {ctx.fingerprint[:16]} for "
-                f"{fn.name!r}: the function drifted between the worker "
-                "compile and the bind")
-        for name, seconds, start in (stages or []):
-            ctx.report.stages.append(StageTiming(name, seconds, start))
-        ctx.report.deps_checked = deps_checked
-        ctx.report.races_checked = races_checked
-        ctx.source = source
-        ctx.extras.update(extras or {})
-        ctx.report.source_size = len(source)
-        if options["verbose"]:
-            print(source)
-        return self._bind_and_store(ctx)
+        with compile_context(current_compile_id() or new_compile_id()):
+            ctx = self._begin(fn, options)
+            if fingerprint and fingerprint != ctx.fingerprint:
+                raise ValueError(
+                    f"precompiled artifact fingerprint {fingerprint[:16]} "
+                    f"does not match {ctx.fingerprint[:16]} for "
+                    f"{fn.name!r}: the function drifted between the "
+                    "worker compile and the bind")
+            for name, seconds, start in (stages or []):
+                ctx.report.stages.append(StageTiming(name, seconds, start))
+            ctx.report.deps_checked = deps_checked
+            ctx.report.races_checked = races_checked
+            ctx.source = source
+            ctx.extras.update(extras or {})
+            ctx.report.source_size = len(source)
+            if options["verbose"]:
+                print(source)
+            return self._bind_and_store(ctx)
 
     def _finish(self, ctx: CompileContext, kernel):
         # Point-in-time snapshots: later compiles must not mutate the
@@ -400,11 +432,27 @@ class CompilePipeline:
         if runtime is not None:
             ctx.report.parallel_workers = runtime.num_threads
         kernel.report = ctx.report
+        report = ctx.report
+        if report.cache_hit:
+            verdict = "hit"
+        elif report.disk_hit:
+            verdict = "disk"
+        else:
+            verdict = "miss"
+        from repro.obs.metrics import metrics
+        metrics.histogram("compile.seconds").observe(report.total_seconds)
+        emit_event("compile.end", EVT_COMPILE,
+                   compile_id=report.compile_id, function=report.function,
+                   target=report.target, verdict=verdict,
+                   total_seconds=report.total_seconds,
+                   key=report.fingerprint[:16])
         emit_trace(ctx.report)
         from repro.obs.tracer import get_tracer
         tracer = get_tracer()
         if tracer.enabled():
             tracer.record_compile(ctx.report)
+        from repro.obs.export import autoflush
+        autoflush()
         return kernel
 
 
@@ -413,7 +461,9 @@ def compile_function(fn, target: str = "cpu", **opts):
     return CompilePipeline(get_backend(target)).run(fn, **opts)
 
 
-def compile_to_source(fn, target: str = "cpu", **opts) -> Dict[str, object]:
+def compile_to_source(fn, target: str = "cpu",
+                      compile_id: Optional[str] = None,
+                      **opts) -> Dict[str, object]:
     """Run the pipeline through ``emit`` only and return a picklable
     artifact — the half of a compile that is worth shipping between
     processes (the ``bind`` stage needs the caller's live objects).
@@ -424,25 +474,32 @@ def compile_to_source(fn, target: str = "cpu", **opts) -> Dict[str, object]:
     it into a kernel with :meth:`CompilePipeline.run_precompiled`.
     When the disk tier is active the worker checks it before lowering
     and publishes its artifact after, so concurrent workers racing on
-    one fingerprint do the work once."""
+    one fingerprint do the work once.
+
+    ``compile_id`` pins the journal correlation id explicitly — a
+    contextvars ambient id does not cross the process boundary, so the
+    batch front end ships the submit-time id along with the job and the
+    worker's events still join the parent's."""
     backend = get_backend(target)
     pipe = CompilePipeline(backend)
     options = pipe.normalize_options(opts)
-    ctx = pipe._begin(fn, options)
-    shared = len(ctx.report.stages)   # ensure-params + fingerprint
-    disk = pipe._disk_tier() if options["cache"] else None
-    from_disk = False
-    if disk is not None:
-        dentry = disk.get(ctx.fingerprint)
-        if dentry is not None:
-            ctx.source = dentry.source
-            ctx.extras.update(dentry.extras)
-            from_disk = True
-    if not from_disk:
-        pipe._lower_and_emit(ctx)
+    with compile_context(compile_id or current_compile_id()
+                         or new_compile_id()):
+        ctx = pipe._begin(fn, options)
+        shared = len(ctx.report.stages)   # ensure-params + fingerprint
+        disk = pipe._disk_tier() if options["cache"] else None
+        from_disk = False
         if disk is not None:
-            disk.put(ctx.fingerprint, ctx.source, backend.name,
-                     extras=ctx.extras)
+            dentry = disk.get(ctx.fingerprint)
+            if dentry is not None:
+                ctx.source = dentry.source
+                ctx.extras.update(dentry.extras)
+                from_disk = True
+        if not from_disk:
+            pipe._lower_and_emit(ctx)
+            if disk is not None:
+                disk.put(ctx.fingerprint, ctx.source, backend.name,
+                         extras=ctx.extras)
     return {
         "fingerprint": ctx.fingerprint,
         "target": backend.name,

@@ -71,6 +71,12 @@ class CompileReport:
     function: str
     target: str
     fingerprint: str = ""
+    #: The correlation id tying this compile's events
+    #: (:mod:`repro.obs.events`), tracer spans and report together —
+    #: issued by the pipeline, or inherited from an ambient
+    #: :func:`repro.obs.events.compile_context` (the batch front end
+    #: issues ids at submit time).
+    compile_id: str = ""
     cache_hit: bool = False
     #: Served from the durable on-disk artifact tier (the compile
     #: skipped every lowering stage and re-bound stored source); see
@@ -142,6 +148,7 @@ class CompileReport:
             "function": self.function,
             "target": self.target,
             "fingerprint": self.fingerprint,
+            "compile_id": self.compile_id,
             "cache_hit": self.cache_hit,
             "disk_hit": self.disk_hit,
             "stages": [{"name": s.name, "seconds": s.seconds,
@@ -212,6 +219,8 @@ class CompileReport:
                 f"{ics.get('compose_misses', 0)} misses "
                 f"(size {ics.get('compose_size', 0)})")
         lines.append(f"  key: {self.fingerprint[:16]}")
+        if self.compile_id:
+            lines.append(f"  compile id: {self.compile_id}")
         return "\n".join(lines)
 
 

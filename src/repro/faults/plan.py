@@ -175,6 +175,7 @@ class FaultPlan:
         (or None).  Adds an automatic ``index`` coordinate counting
         probes of this kind, so sites can address "the n-th occurrence"
         without knowing its other coordinates."""
+        hit: Optional[FaultSpec] = None
         with self._lock:
             idx = self._counts.get(kind, 0)
             self._counts[kind] = idx + 1
@@ -183,8 +184,15 @@ class FaultPlan:
                 if spec.kind == kind and spec.matches(coords):
                     spec.fired += 1
                     self.log.append((kind, dict(coords)))
-                    return spec
-            return None
+                    hit = spec
+                    break
+        if hit is not None:
+            # Journal outside the lock: emit serializes and writes, and
+            # runtimes probe fires() on hot paths.
+            from repro.obs.events import EVT_FAULT, emit
+            emit("fault.injected", EVT_FAULT, kind=kind,
+                 site={k: v for k, v in coords.items() if v is not None})
+        return hit
 
     def fired(self, kind: Optional[str] = None) -> int:
         """How many faults actually fired (optionally of one kind)."""

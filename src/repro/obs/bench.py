@@ -1,0 +1,250 @@
+"""Benchmark trajectory: perf-gate numbers recorded across runs, with
+a regression gate over the history.
+
+The tier-2 benchmark suite (``benchmarks/``) asserts *shape* — who
+wins, roughly by how much — but the raw numbers themselves (cold vs
+warm compile seconds, kernel wall clock, auto-vs-hand schedule ratios)
+only mean something over time.  This module keeps that history:
+
+* **Recording** — :func:`record_entry` appends one entry (a flat
+  ``{metric: value}`` dict plus a wall timestamp and free-form meta)
+  to the trajectory file, ``BENCH_obs.json`` by default
+  (``TIRAMISU_BENCH_FILE`` overrides).  The benchmark harness collects
+  its gate numbers via ``bench_note(...)`` in ``benchmarks/conftest.py``
+  and writes one entry per pytest session.
+* **Comparing** — :func:`compare` diffs the latest entry against the
+  median of the prior ones, metric by metric, and flags regressions.
+  Direction comes from the metric name: ``*_seconds`` and ``*_ratio``
+  regress upward, ``*_speedup`` regresses downward, anything else is
+  informational.  ``python -m repro.obs.bench --compare`` is the CLI
+  face (exit 1 on any regression), so CI can gate on the trajectory
+  without bespoke plumbing.
+
+The file format is deliberately boring JSON — one document, versioned,
+entries in chronological order — so notebooks can plot it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+BENCH_FILE_ENV = "TIRAMISU_BENCH_FILE"
+DEFAULT_BENCH_FILE = "BENCH_obs.json"
+
+#: Trajectory document schema version.
+TRAJECTORY_VERSION = 1
+
+#: Latest-vs-baseline drift tolerated before a metric reads as a
+#: regression (benchmarks on shared hosts are noisy; 25% two runs in a
+#: row is signal).
+DEFAULT_THRESHOLD = 0.25
+
+
+def bench_file_path(path: Optional[str] = None) -> str:
+    """The trajectory destination: explicit ``path``, else the
+    ``TIRAMISU_BENCH_FILE`` environment variable, else
+    ``BENCH_obs.json`` in the current directory."""
+    if path:
+        return str(path)
+    env = os.environ.get(BENCH_FILE_ENV, "").strip()
+    return env or DEFAULT_BENCH_FILE
+
+
+def load_trajectory(path: Optional[str] = None) -> Dict[str, object]:
+    """The trajectory document at ``path`` (an empty one when the file
+    does not exist yet).  Raises ValueError on a malformed or
+    wrong-version document — the file is versioned exactly so damage
+    is loud, not silently re-seeded."""
+    resolved = bench_file_path(path)
+    try:
+        with open(resolved, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        return {"version": TRAJECTORY_VERSION, "entries": []}
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"unreadable bench trajectory {resolved}: {err}"
+                         ) from None
+    if not isinstance(doc, dict) \
+            or doc.get("version") != TRAJECTORY_VERSION \
+            or not isinstance(doc.get("entries"), list):
+        raise ValueError(
+            f"bench trajectory {resolved} is not a version-"
+            f"{TRAJECTORY_VERSION} document")
+    return doc
+
+
+def record_entry(measurements: Dict[str, float],
+                 path: Optional[str] = None,
+                 meta: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+    """Append one trajectory entry and rewrite the file atomically;
+    returns the entry.  ``measurements`` is a flat ``{metric: number}``
+    dict — non-numeric values are rejected so the comparison math never
+    meets a string."""
+    clean: Dict[str, float] = {}
+    for name, value in measurements.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(
+                f"bench metric {name!r} must be a number, got {value!r}")
+        clean[str(name)] = float(value)
+    if not clean:
+        raise ValueError("record_entry needs at least one measurement")
+    resolved = bench_file_path(path)
+    doc = load_trajectory(resolved)
+    entry = {
+        "seq": len(doc["entries"]),
+        "wall": time.time(),
+        "metrics": clean,
+        "meta": dict(meta or {}),
+    }
+    doc["entries"].append(entry)
+    directory = os.path.dirname(os.path.abspath(resolved))
+    fd, tmp_name = tempfile.mkstemp(prefix=".tiramisu-bench-",
+                                    dir=directory)
+    try:
+        with os.fdopen(fd, "w") as tmp:
+            json.dump(doc, tmp, indent=1, sort_keys=True)
+            tmp.write("\n")
+        os.replace(tmp_name, resolved)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return entry
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """How a metric regresses, by naming convention: ``"up"`` (bigger
+    is worse: ``*_seconds``, ``*_ratio``), ``"down"`` (bigger is
+    better: ``*_speedup``), or None for informational metrics."""
+    if name.endswith(("_seconds", "_ratio")):
+        return "up"
+    if name.endswith("_speedup"):
+        return "down"
+    return None
+
+
+@dataclass
+class MetricComparison:
+    """One metric's latest value against its history."""
+
+    name: str
+    latest: float
+    baseline: Optional[float]    # median of prior entries, or None
+    samples: int                 # prior entries carrying this metric
+    direction: Optional[str]     # "up" / "down" / None (informational)
+    regressed: bool
+
+    @property
+    def change(self) -> Optional[float]:
+        """Fractional drift vs baseline (+0.30 = 30% higher), or None
+        with no usable baseline."""
+        if self.baseline is None or self.baseline == 0:
+            return None
+        return self.latest / self.baseline - 1.0
+
+
+def compare(path: Optional[str] = None,
+            threshold: float = DEFAULT_THRESHOLD
+            ) -> List[MetricComparison]:
+    """Diff the latest trajectory entry against the median of every
+    prior entry, metric by metric.  Raises ValueError when the
+    trajectory has no entries (nothing recorded is a harness wiring
+    bug, not a clean pass)."""
+    doc = load_trajectory(path)
+    entries = doc["entries"]
+    if not entries:
+        raise ValueError(
+            f"bench trajectory {bench_file_path(path)} has no entries; "
+            "run the benchmarks first")
+    latest = entries[-1]
+    history = entries[:-1]
+    out: List[MetricComparison] = []
+    for name in sorted(latest.get("metrics", {})):
+        value = latest["metrics"][name]
+        prior = [e["metrics"][name] for e in history
+                 if isinstance(e.get("metrics"), dict)
+                 and name in e["metrics"]]
+        baseline = statistics.median(prior) if prior else None
+        direction = metric_direction(name)
+        regressed = False
+        if baseline is not None and baseline > 0 and direction:
+            drift = value / baseline - 1.0
+            if direction == "up":
+                regressed = drift > threshold
+            else:
+                regressed = drift < -threshold
+        out.append(MetricComparison(
+            name=name, latest=value, baseline=baseline,
+            samples=len(prior), direction=direction,
+            regressed=regressed))
+    return out
+
+
+def format_comparison(rows: List[MetricComparison]) -> str:
+    """The ``--compare`` report as an aligned text table."""
+    width = max([24] + [len(r.name) for r in rows])
+    lines = [f"{'metric':<{width}} {'latest':>12} {'baseline':>12} "
+             f"{'drift':>8}  verdict"]
+    for row in rows:
+        baseline = ("-" if row.baseline is None
+                    else f"{row.baseline:.6g}")
+        drift = ("-" if row.change is None
+                 else f"{row.change:+.1%}")
+        if row.direction is None:
+            verdict = "info"
+        elif row.baseline is None:
+            verdict = "new"
+        elif row.regressed:
+            verdict = "REGRESSED"
+        else:
+            verdict = "ok"
+        lines.append(f"{row.name:<{width}} {row.latest:>12.6g} "
+                     f"{baseline:>12} {drift:>8}  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Inspect the benchmark trajectory and gate on "
+                    "regressions.")
+    parser.add_argument("--compare", action="store_true",
+                        help="diff the latest entry against the median "
+                             "of the history; exit 1 on regression")
+    parser.add_argument("--file", default=None,
+                        help=f"trajectory file (default: "
+                             f"${BENCH_FILE_ENV} or {DEFAULT_BENCH_FILE})")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional drift tolerated before a gated "
+                             "metric regresses (default %(default)s)")
+    args = parser.parse_args(argv)
+    if not args.compare:
+        parser.error("nothing to do: pass --compare")
+    try:
+        rows = compare(args.file, threshold=args.threshold)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(format_comparison(rows))
+    regressions = [r for r in rows if r.regressed]
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""Metrics export: OpenMetrics text exposition, JSON snapshots, and a
+periodic background flusher.
+
+The :mod:`repro.obs.metrics` registry is in-process state; a service
+needs it *outside* the process, in a format scrapers understand.  Two
+writers, one knob each:
+
+* **OpenMetrics / Prometheus text** — :func:`render_openmetrics`
+  serializes the registry: counters as ``<name>_total``, gauges as
+  ``<name>``, histograms as Prometheus *summaries* (``{quantile="0.5"
+  |0.9|0.99}`` series from the fixed-bucket estimates, plus ``_count``
+  / ``_sum``).  Dots in metric names become underscores (``parallel.
+  chunks`` -> ``parallel_chunks_total``); the text ends with ``# EOF``
+  per the OpenMetrics spec.
+* **JSON snapshot** — the registry's ``typed_snapshot()`` plus a
+  timestamp, for harness dumps and the bench recorder.
+
+:func:`write_metrics_file` picks the format from the extension
+(``*.json`` -> JSON, anything else -> OpenMetrics text) and writes
+atomically (temp file + ``os.replace``), so a scraper never reads a
+half-written exposition.
+
+Setting ``TIRAMISU_METRICS_FILE=metrics.prom`` names a destination;
+the file is written at interpreter exit, on demand via
+:func:`write_metrics_file`, or — with ``TIRAMISU_METRICS_INTERVAL=5``
+(seconds) — continuously by a daemon :class:`MetricsFlusher` thread
+started lazily by the first compile (:func:`autoflush`).  All of it is
+a no-op when the environment variable is unset.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry, metrics
+
+METRICS_FILE_ENV = "TIRAMISU_METRICS_FILE"
+METRICS_INTERVAL_ENV = "TIRAMISU_METRICS_INTERVAL"
+
+#: The summary quantiles exposed per histogram.
+QUANTILES = (0.50, 0.90, 0.99)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """A registry name as a legal Prometheus metric name (dots and any
+    other punctuation become underscores; a leading digit is
+    prefixed)."""
+    out = _NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """A float in exposition form (integers without the trailing .0,
+    which keeps counters readable)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry as OpenMetrics text exposition (ending ``# EOF``)."""
+    reg = metrics if registry is None else registry
+    typed = reg.typed_snapshot()
+    lines = []
+    for name in sorted(typed["counters"]):
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(typed['counters'][name])}")
+    for name in sorted(typed["gauges"]):
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(typed['gauges'][name])}")
+    for name in sorted(typed["histograms"]):
+        metric = sanitize_name(name)
+        summary = typed["histograms"][name]
+        lines.append(f"# TYPE {metric} summary")
+        for q in QUANTILES:
+            key = f"p{int(q * 100)}"
+            lines.append(
+                f'{metric}{{quantile="{q:g}"}} {_fmt(summary[key])}')
+        lines.append(f"{metric}_count {_fmt(summary['count'])}")
+        lines.append(f"{metric}_sum {_fmt(summary['total'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, float]:
+    """Parse an exposition back into ``{series: value}`` (labeled
+    series keep their ``name{quantile="0.5"}`` spelling).  Raises
+    ValueError on a malformed line or a missing ``# EOF`` terminator —
+    the exporters-write-atomically guarantee makes anything else a real
+    bug, and the acceptance tests lean on that."""
+    out: Dict[str, float] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "TYPE":
+                raise ValueError(f"line {lineno}: malformed comment "
+                                 f"{line!r}")
+            continue
+        try:
+            series, value = line.rsplit(None, 1)
+            out[series] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed sample {line!r}") from None
+    if not saw_eof:
+        raise ValueError("exposition is missing the # EOF terminator")
+    return out
+
+
+def render_json(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry's typed snapshot as a JSON document with a
+    timestamp."""
+    reg = metrics if registry is None else registry
+    return json.dumps({"wall": time.time(), "metrics":
+                       reg.typed_snapshot()}, indent=1, sort_keys=True)
+
+
+def metrics_file_path() -> Optional[str]:
+    """The ``TIRAMISU_METRICS_FILE`` destination, or None."""
+    path = os.environ.get(METRICS_FILE_ENV, "").strip()
+    return path or None
+
+
+def metrics_interval() -> Optional[float]:
+    """The ``TIRAMISU_METRICS_INTERVAL`` period in seconds, or None
+    (invalid values read as None — telemetry never raises into the
+    compile path)."""
+    raw = os.environ.get(METRICS_INTERVAL_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
+
+
+def write_metrics_file(path: Optional[str] = None,
+                       registry: Optional[MetricsRegistry] = None
+                       ) -> Optional[str]:
+    """Write the registry to ``path`` (default: the env destination) —
+    JSON when the name ends ``.json``, OpenMetrics text otherwise.
+    Atomic: a scraper racing the writer sees the old complete file or
+    the new complete file, never a torn one.  Returns the written path
+    or None when there is no destination."""
+    path = path or metrics_file_path()
+    if not path:
+        return None
+    if path.endswith(".json"):
+        text = render_json(registry)
+    else:
+        text = render_openmetrics(registry)
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd, tmp_name = tempfile.mkstemp(prefix=".tiramisu-metrics-",
+                                        dir=directory)
+        with os.fdopen(fd, "w") as tmp:
+            tmp.write(text)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except (OSError, UnboundLocalError):
+            pass
+        return None
+    return path
+
+
+class MetricsFlusher(threading.Thread):
+    """A daemon thread rewriting the metrics file every ``interval``
+    seconds (plus once on :meth:`stop`, so the final state lands)."""
+
+    def __init__(self, path: str, interval: float,
+                 registry: Optional[MetricsRegistry] = None):
+        super().__init__(name="tiramisu-metrics-flusher", daemon=True)
+        self.path = path
+        self.interval = float(interval)
+        self.registry = registry
+        self._stop = threading.Event()
+        self.flushes = 0
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            if write_metrics_file(self.path, self.registry):
+                self.flushes += 1
+
+    def stop(self, final_flush: bool = True) -> None:
+        self._stop.set()
+        if final_flush and write_metrics_file(self.path, self.registry):
+            self.flushes += 1
+
+
+_flusher: Optional[MetricsFlusher] = None
+_flusher_lock = threading.Lock()
+
+
+def start_flusher(path: Optional[str] = None,
+                  interval: Optional[float] = None
+                  ) -> Optional[MetricsFlusher]:
+    """Start (or return) the process-wide background flusher.  Path and
+    interval default to the environment; with no destination or period
+    the call is a no-op returning None."""
+    global _flusher
+    path = path or metrics_file_path()
+    interval = interval if interval is not None else metrics_interval()
+    if not path or not interval:
+        return None
+    with _flusher_lock:
+        if _flusher is not None and _flusher.is_alive() \
+                and _flusher.path == path \
+                and _flusher.interval == float(interval):
+            return _flusher
+        if _flusher is not None:
+            _flusher.stop(final_flush=False)
+        _flusher = MetricsFlusher(path, interval)
+        _flusher.start()
+        return _flusher
+
+
+def stop_flusher(final_flush: bool = True) -> None:
+    """Stop the background flusher (writing one last snapshot by
+    default)."""
+    global _flusher
+    with _flusher_lock:
+        if _flusher is not None:
+            _flusher.stop(final_flush=final_flush)
+            _flusher = None
+
+
+def autoflush() -> None:
+    """The compile pipeline's per-compile hook: when the environment
+    names a metrics file, keep it fresh — starting the periodic
+    flusher if an interval is configured, else rewriting once now.
+    Cheap (two env reads) when telemetry is off."""
+    path = metrics_file_path()
+    if path is None:
+        return
+    if metrics_interval() is not None:
+        start_flusher()
+    else:
+        write_metrics_file(path)
+
+
+@atexit.register
+def _flush_at_exit() -> None:  # pragma: no cover - exercised at exit
+    try:
+        stop_flusher(final_flush=False)
+        write_metrics_file()
+    except Exception:  # noqa: BLE001 - never fail interpreter exit
+        pass

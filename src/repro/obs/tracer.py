@@ -24,6 +24,7 @@ from __future__ import annotations
 import atexit
 import json
 import os
+import tempfile
 import threading
 import time
 from contextlib import contextmanager
@@ -113,8 +114,15 @@ class Tracer:
 
     def record_compile(self, report) -> None:
         """Convert a :class:`~repro.driver.trace.CompileReport`'s stage
-        timings into compile-stage spans on this timeline."""
+        timings into compile-stage spans on this timeline.  Spans carry
+        the report's ``compile_id``, so the trace joins against the
+        event journal (:mod:`repro.obs.events`) on one correlation
+        key."""
         verdict = "hit" if report.cache_hit else "miss"
+        extra = {}
+        compile_id = getattr(report, "compile_id", "")
+        if compile_id:
+            extra["compile_id"] = compile_id
         for stage in report.stages:
             start_ns = int(stage.start * 1e9)
             self.add_span(
@@ -122,7 +130,7 @@ class Tracer:
                 start_ns + int(stage.seconds * 1e9),
                 tid=f"compile {report.function}->{report.target}",
                 function=report.function, target=report.target,
-                cache=verdict, key=report.fingerprint[:16])
+                cache=verdict, key=report.fingerprint[:16], **extra)
 
     def record_run(self, run_report) -> None:
         """Append a profiled run's loop-nest and worker spans."""
@@ -152,9 +160,28 @@ class Tracer:
         }
 
     def export(self, path: str) -> str:
-        """Write the Chrome-trace JSON to ``path``; returns the path."""
-        with open(path, "w") as fh:
-            json.dump(self.to_chrome_trace(), fh, indent=1)
+        """Write the Chrome-trace JSON to ``path``; returns the path.
+
+        Atomic (temp file + ``os.replace``): exporting while other
+        threads are still emitting spans — the eager-flush path for
+        fault-injected runs — always leaves a complete, parseable
+        document on disk, never a torn one.  The span list itself is
+        copied under the tracer lock, so a concurrent ``add`` is either
+        wholly in this export or wholly in the next."""
+        doc = self.to_chrome_trace()
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_name = tempfile.mkstemp(prefix=".tiramisu-trace-",
+                                        dir=directory)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
 

@@ -237,6 +237,39 @@ class TestMetrics:
         assert Histogram("empty").spread == 1.0
         assert Histogram("empty").summary()["min"] == 0.0
 
+    def test_spread_with_nonpositive_min_reports_inf(self):
+        # A zero (or negative) floor under a larger max is maximal
+        # imbalance; the old code answered 1.0 ("perfectly balanced").
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(5.0)
+        assert math.isinf(h.spread)
+        neg = Histogram("neg")
+        neg.observe(-1.0)
+        neg.observe(3.0)
+        assert math.isinf(neg.spread)
+        # Identical non-positive observations really are balanced.
+        flat = Histogram("flat")
+        flat.observe(0.0)
+        flat.observe(0.0)
+        assert flat.spread == 1.0
+
+    def test_histogram_quantiles(self):
+        h = Histogram("q")
+        for v in range(1, 101):          # 1..100
+            h.observe(float(v))
+        s = h.summary()
+        assert 40.0 <= s["p50"] <= 60.0
+        assert 80.0 <= s["p90"] <= 100.0
+        assert 90.0 <= s["p99"] <= 100.0
+        assert s["p50"] <= s["p90"] <= s["p99"]
+        # Quantiles never escape the observed range.
+        assert s["p99"] <= s["max"] and s["p50"] >= s["min"]
+        empty = Histogram("none").summary()
+        assert empty["p50"] == empty["p99"] == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
     def test_registry_create_on_first_use_and_reset(self):
         reg = MetricsRegistry()
         reg.counter("x").inc(2)
@@ -249,7 +282,54 @@ class TestMetrics:
         reg.counter("x").inc()
         assert snap["x"] == 2.0                # point-in-time copy
         reg.reset()
-        assert reg.snapshot() == {}
+        after = reg.snapshot()
+        assert after["x"] == 0.0 and after["y"] == 0.0
+        assert after["z"]["count"] == 0
+
+    def test_reset_keeps_outstanding_handles_live(self):
+        # The stale-handle bug: reset() used to drop the instances, so
+        # a caller still holding a Counter kept incrementing an orphan
+        # and its counts vanished from every later snapshot.
+        reg = MetricsRegistry()
+        c = reg.counter("held")
+        g = reg.gauge("dial")
+        h = reg.histogram("timings")
+        c.inc(3)
+        h.observe(2.0)
+        reg.reset()
+        c.inc(5)                       # the handle must still count
+        g.set(7)
+        h.observe(4.0)
+        snap = reg.snapshot()
+        assert snap["held"] == 5.0
+        assert snap["dial"] == 7.0
+        assert snap["timings"]["count"] == 1
+        assert snap["timings"]["max"] == 4.0
+        assert reg.counter("held") is c   # same instance, still shared
+
+    def test_cross_kind_name_collision_raises(self):
+        from repro.obs.metrics import MetricNameError
+        reg = MetricsRegistry()
+        reg.counter("shared.name")
+        with pytest.raises(MetricNameError):
+            reg.gauge("shared.name")
+        with pytest.raises(MetricNameError):
+            reg.histogram("shared.name")
+        reg.histogram("other")
+        with pytest.raises(MetricNameError):
+            reg.counter("other")
+        # Same kind is still create-once-return-always.
+        assert reg.counter("shared.name").name == "shared.name"
+
+    def test_typed_snapshot_separates_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        typed = reg.typed_snapshot()
+        assert typed["counters"] == {"c": 2.0}
+        assert typed["gauges"] == {"g": 1.5}
+        assert typed["histograms"]["h"]["count"] == 1
 
     def test_parallel_run_feeds_global_registry(self):
         metrics.reset()
@@ -350,6 +430,51 @@ class TestTracer:
         t1.set_enabled(True)
         t1.add_span("a", "cat", 0, 5)
         assert len(t1) == 1 and len(t2) == 0
+
+    def test_export_during_active_emission_is_always_valid_json(
+            self, tmp_path):
+        """The eager-flush contract: exporting while other threads are
+        still emitting spans must always leave a complete Chrome-trace
+        document on disk (temp-file + atomic rename), never a torn
+        one."""
+        import threading
+        tracer = Tracer()
+        tracer.set_enabled(True)
+        dest = tmp_path / "trace.json"
+
+        def hammer():
+            for i in range(2000):
+                tracer.add_span(f"s{i}", "cat", i, i + 5,
+                                detail="x" * 64)
+
+        writers = [threading.Thread(target=hammer) for _ in range(3)]
+        for t in writers:
+            t.start()
+        try:
+            sizes = []
+            for _ in range(20):
+                assert tracer.export(str(dest)) == str(dest)
+                doc = json.loads(dest.read_text())   # must never tear
+                assert "traceEvents" in doc
+                sizes.append(len(doc["traceEvents"]))
+        finally:
+            for t in writers:
+                t.join()
+        assert sizes == sorted(sizes)      # the log only grows
+        assert tracer.export(str(dest)) == str(dest)
+        assert len(json.loads(dest.read_text())["traceEvents"]) == 6000
+        # No stray temp files left behind by the atomic writer.
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.json"]
+
+    def test_compile_spans_carry_compile_id(self, clean_tracer):
+        clean_tracer.set_enabled(True)
+        report = CompileReport(function="f", target="cpu",
+                               fingerprint="ab" * 32)
+        report.compile_id = "deadbeef00112233"
+        report.stages.append(StageTiming("emit", 0.01, 1.0))
+        clean_tracer.record_compile(report)
+        (span,) = clean_tracer.spans()
+        assert span.args["compile_id"] == "deadbeef00112233"
 
 
 # -- CompileReport satellites ------------------------------------------------
