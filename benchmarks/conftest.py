@@ -24,6 +24,17 @@ from repro.obs import bench as obs_bench
 _session_notes = {}
 
 
+@pytest.fixture(autouse=True)
+def _fresh_pool_breaker():
+    """The worker-pool circuit breaker is process-global on purpose;
+    in a benchmark session that globalness would leak open state from
+    one gate into the next (see tests/conftest.py)."""
+    from repro.driver.resilience import reset_pool_breaker
+    reset_pool_breaker()
+    yield
+    reset_pool_breaker()
+
+
 def print_table(title: str, rows) -> None:
     out = [f"\n===== {title} ====="]
     if isinstance(rows, dict):

@@ -32,16 +32,30 @@ def resolve_timeout(value: Optional[float] = None,
                     default: Optional[float] = None) -> Optional[float]:
     """One timeout, three priorities: the validated ``timeout`` compile
     or call option, then the ``TIRAMISU_TIMEOUT`` environment variable,
-    then ``default`` (which may be None — "no deadline")."""
+    then ``default`` (which may be None — "no deadline").
+
+    Zero, negative, boolean and non-numeric values raise ValueError —
+    for the env var too, naming ``TIRAMISU_TIMEOUT`` so a broken CI
+    environment fails loudly at option-normalization time instead of
+    deep inside the runtime."""
+    source = "timeout"
     if value is None:
         env = os.environ.get(TIMEOUT_ENV, "").strip()
         if env:
             value = env
+            source = TIMEOUT_ENV
         else:
             return None if default is None else float(default)
-    t = float(value)
+    if isinstance(value, bool):
+        raise ValueError(
+            f"{source} must be a positive number, got {value!r}")
+    try:
+        t = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive number, got {value!r}") from None
     if t <= 0:
-        raise ValueError(f"timeout must be a positive number, got {value!r}")
+        raise ValueError(f"{source} must be a positive number, got {value!r}")
     return t
 
 

@@ -265,6 +265,7 @@ class ParallelStats:
     pool_restarts: int = 0   # broken pools discarded and rebuilt
     chunk_timeouts: int = 0  # chunks that missed their deadline
     sequential_fallbacks: int = 0  # regions degraded to inline execution
+    breaker_blocks: int = 0  # offloads refused by the open circuit breaker
 
 
 class ParallelRuntime:
@@ -307,9 +308,22 @@ class ParallelRuntime:
             and _get_pool(self.num_threads) is not None
 
     def offload(self, trip: int) -> bool:
-        return (self._specs is not None
-                and trip >= 2 * self.min_chunk_iters
-                and self.enabled())
+        """Should this region's chunks go to the pool?  ``False`` makes
+        the emitted kernel run the body inline — which is also the
+        graceful-degradation path while the shared pool's circuit
+        breaker is open: a pool that keeps dying stops being hammered,
+        and ``parallelize`` silently becomes sequential (bit-identical
+        results, the pre-parallel semantics)."""
+        if self._specs is None or trip < 2 * self.min_chunk_iters \
+                or not self.enabled():
+            return False
+        from repro.driver.resilience import pool_breaker
+        if not pool_breaker().allow():
+            self.stats.breaker_blocks += 1
+            from repro.obs.metrics import metrics
+            metrics.counter("parallel.breaker_blocks").inc()
+            return False
+        return True
 
     @contextmanager
     def sharing(self, arrays: Dict[str, np.ndarray]):
@@ -379,10 +393,15 @@ class ParallelRuntime:
         profiling, its counter snapshot); they are aggregated here, in
         the parent, into the process-global metrics registry and the
         per-call ``obs`` collector — workers never share state."""
+        from repro.driver.resilience import current_deadline, pool_breaker
         from repro.obs.metrics import metrics
         if self._specs is None:  # raced a pool teardown
             raise ExecutionError(
                 f"parallel region {body.__name__} has no active pool")
+        ambient_deadline = current_deadline()
+        if ambient_deadline is not None:
+            ambient_deadline.check("parallel-dispatch")
+        breaker = pool_breaker()
         region = self.stats.regions
         self.stats.regions += 1
         metrics.counter("parallel.regions").inc()
@@ -400,9 +419,11 @@ class ParallelRuntime:
         for attempt in range(attempts):
             try:
                 self._dispatch(body, params, lo, hi, obs, region, attempt)
+                breaker.record_success()
                 return
             except WorkerFailureError as exc:
                 failure = exc
+                breaker.record_failure()
                 metrics.counter("parallel.worker_failures").inc()
                 emit_event("parallel.worker_failure", EVT_PARALLEL,
                            region=region, attempt=attempt,
@@ -452,6 +473,11 @@ class ParallelRuntime:
             raise WorkerFailureError(
                 f"parallel region {body.__name__} has no active pool")
         plan = get_plan()
+        if plan is not None \
+                and plan.fires("pool-refusal", op="parallel"):
+            raise WorkerFailureError(
+                f"parallel region {body.__name__}: the worker pool "
+                f"refused the dispatch (injected)")
         bounds = chunk_ranges(lo, hi, self.num_threads)
         futures = []
         try:

@@ -60,3 +60,27 @@ class InjectedFaultError(ExecutionError):
     """A failure deliberately injected by an active
     :class:`repro.faults.FaultPlan` (distinguishable in tests from an
     organic failure)."""
+
+
+class DeadlineExceededError(TiramisuError):
+    """A request exhausted its end-to-end budget (the ``timeout``
+    compile option, or ``TIRAMISU_TIMEOUT``) before it finished.
+
+    Raised by the compile pipeline's stage guards the moment the budget
+    runs out — before the next expensive stage starts — instead of
+    letting a doomed request run to completion.  ``stage`` names the
+    pipeline stage that found the budget exhausted (and therefore never
+    began); ``budget`` is the request's full budget in seconds.
+    """
+
+    def __init__(self, message: str, stage=None, budget=None):
+        super().__init__(message)
+        self.stage = stage
+        self.budget = budget
+
+
+class AdmissionError(TiramisuError):
+    """The batch front end refused (or shed) a submission because the
+    service is over its configured capacity (``max_pending`` /
+    ``max_queued_bytes``) — overload degrades to a fast, explicit
+    rejection instead of unbounded queue growth."""

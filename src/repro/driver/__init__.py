@@ -22,6 +22,19 @@ Compile-as-a-service surface:
 * :class:`CacheStats` / :class:`CacheStatsGroup`
   (:mod:`repro.driver.stats`) — the one vocabulary every cache tier
   (memory, disk, isl.empty, isl.compose) reports in.
+
+Self-protection surface (:mod:`repro.driver.resilience`,
+:mod:`repro.driver.recovery`, docs/robustness.md):
+
+* :class:`Deadline` / :func:`deadline_scope` / :func:`current_deadline`
+  — the request-scoped end-to-end budget every expensive pipeline
+  stage checks before starting.
+* :class:`CircuitBreaker` / :func:`pool_breaker` — graceful
+  degradation over the shared worker pool: open after consecutive
+  infrastructure failures, half-open probe after a cooldown.
+* :func:`recovery_sweep` — the crash-recovery sweep (stale temp files,
+  quarantine aging, torn journal tail) run lazily when the disk tier
+  activates.
 """
 
 from .batch import (BatchCompiler, BatchStats, CompileHandle,
@@ -34,8 +47,13 @@ from .diskcache import reset_configuration as reset_disk_cache_configuration
 from .fingerprint import ir_fingerprint
 from .pipeline import (BASE_OPTIONS, CompilePipeline, compile_function,
                        compile_to_source)
+from .recovery import RecoveryReport
+from .recovery import sweep as recovery_sweep
 from .registry import (Backend, UnknownTargetError, get_backend,
                        register_backend, registered_targets)
+from .resilience import (CircuitBreaker, Deadline, current_deadline,
+                         deadline_scope, pool_breaker,
+                         reset_pool_breaker)
 from .stats import CacheStats, CacheStatsGroup
 from .trace import (CompileReport, StageTiming, emit_trace, set_trace,
                     trace_enabled, traced)
@@ -48,14 +66,17 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "CacheStatsGroup",
+    "CircuitBreaker",
     "CompileCache",
     "CompileContext",
     "CompileHandle",
     "CompilePipeline",
     "CompileReport",
     "CompileRequest",
+    "Deadline",
     "DiskCache",
     "DiskEntry",
+    "RecoveryReport",
     "StageTiming",
     "UnknownTargetError",
     "active_disk_cache",
@@ -63,13 +84,18 @@ __all__ = [
     "compile_function",
     "compile_to_source",
     "configure_disk_cache",
+    "current_deadline",
+    "deadline_scope",
     "emit_trace",
     "get_backend",
     "ir_fingerprint",
     "kernel_registry",
+    "pool_breaker",
+    "recovery_sweep",
     "register_backend",
     "registered_targets",
     "reset_disk_cache_configuration",
+    "reset_pool_breaker",
     "set_trace",
     "trace_enabled",
     "traced",

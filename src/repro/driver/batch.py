@@ -47,25 +47,55 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
-from repro.core.errors import WorkerFailureError
-from repro.obs.events import (EVT_BATCH, compile_context, emit,
-                              new_compile_id)
+import os
+
+from repro.core.errors import AdmissionError, WorkerFailureError
+from repro.obs.events import (EVT_BATCH, EVT_RESILIENCE, compile_context,
+                              emit, new_compile_id)
 
 from .pipeline import CompilePipeline, compile_to_source
 from .registry import get_backend
+from .resilience import Deadline, deadline_scope, pool_breaker
 
 #: Backoff before a retried worker compile (doubles per attempt),
 #: mirroring ParallelRuntime.retry_backoff.
 RETRY_BACKOFF = 0.05
 
+#: Admission-control environment knobs (docs/robustness.md): the
+#: default capacity bounds and overload policy for every BatchCompiler
+#: that is not configured explicitly.
+MAX_PENDING_ENV = "TIRAMISU_MAX_PENDING"
+MAX_QUEUED_BYTES_ENV = "TIRAMISU_MAX_QUEUED_BYTES"
+ADMISSION_POLICY_ENV = "TIRAMISU_ADMISSION_POLICY"
+
+ADMISSION_POLICIES = ("reject", "block", "shed-oldest")
+
+
+def _env_capacity(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive int, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"{name} must be a positive int, got {raw!r}")
+    return value
+
 
 def _compile_source_job(fn, target: str, options: Dict[str, object],
-                        compile_id: Optional[str] = None):
+                        compile_id: Optional[str] = None,
+                        deadline_remaining: Optional[float] = None):
     """What a pool worker runs: the heavy pipeline stages, returning a
     picklable artifact for the parent to bind.  ``compile_id`` carries
     the submit-time correlation id across the process boundary, so the
-    worker's journal events join the parent's."""
-    return compile_to_source(fn, target, compile_id=compile_id, **options)
+    worker's journal events join the parent's; ``deadline_remaining``
+    carries what is left of the request budget the same way."""
+    return compile_to_source(fn, target, compile_id=compile_id,
+                             deadline_remaining=deadline_remaining,
+                             **options)
 
 
 @dataclass
@@ -93,6 +123,10 @@ class BatchStats:
     retries: int = 0            # compile dispatches retried
     pool_restarts: int = 0      # broken pools discarded and rebuilt
     fallbacks: int = 0          # worker paths degraded to inline
+    admission_rejected: int = 0  # submits refused over capacity
+    admission_shed: int = 0      # queued jobs cancelled to admit newer
+    admission_blocked: int = 0   # submits that waited for capacity
+    breaker_short_circuits: int = 0  # offloads refused by the breaker
 
 
 class _Job:
@@ -101,7 +135,8 @@ class _Job:
 
     def __init__(self, fingerprint: str, fn, target: str,
                  options: Dict[str, object],
-                 normalized: Dict[str, object]):
+                 normalized: Dict[str, object],
+                 cost_bytes: int = 0):
         self.fingerprint = fingerprint
         self.fn = fn
         self.target = target
@@ -112,6 +147,14 @@ class _Job:
         # the job's compile (so the pipeline adopts it), and shipped
         # explicitly to pool workers.
         self.compile_id = new_compile_id()
+        # The request budget starts here, at submit — queueing time is
+        # charged against it just like compile time.
+        self.deadline: Optional[Deadline] = Deadline.from_timeout(
+            normalized.get("timeout"))
+        self.cost_bytes = int(cost_bytes)
+        self.admitted = False           # counted in the admission ledger
+        self.shed = False               # cancelled by shed-oldest
+        self.thread_future: Optional[Future] = None
         self.future: Future = Future()
         self.handles: List["CompileHandle"] = []
 
@@ -169,16 +212,53 @@ class BatchCompiler:
     (False); the default (None) offloads exactly the cold compiles of
     backends that can rebind from source.  Batch-wide compile options
     (``check_legality=True``, ``timeout=...``, ...) apply to every
-    submit and merge under per-submit overrides."""
+    submit and merge under per-submit overrides.
+
+    Admission control (docs/robustness.md): ``max_pending`` bounds the
+    number of distinct in-flight jobs, ``max_queued_bytes`` bounds the
+    estimated bytes they hold, and ``admission_policy`` picks what an
+    over-capacity ``submit`` does — ``"reject"`` (default) raises
+    :class:`~repro.core.errors.AdmissionError` immediately, ``"block"``
+    waits for capacity, ``"shed-oldest"`` cancels the oldest not-yet-
+    started job (failing *its* handles with ``AdmissionError``) to
+    admit the newcomer.  Unset bounds fall back to the
+    ``TIRAMISU_MAX_PENDING`` / ``TIRAMISU_MAX_QUEUED_BYTES`` /
+    ``TIRAMISU_ADMISSION_POLICY`` environment; with neither, admission
+    is unbounded (the pre-admission behavior).  Duplicate submits
+    attach to the existing job and are never refused — dedup costs no
+    capacity."""
 
     def __init__(self, target: str = "cpu",
                  max_workers: Optional[int] = None,
                  use_processes: Optional[bool] = None,
+                 max_pending: Optional[int] = None,
+                 max_queued_bytes: Optional[int] = None,
+                 admission_policy: Optional[str] = None,
                  **default_options):
         from repro.backends.parallel import resolve_num_threads
         self.target = target
         self.workers = resolve_num_threads(max_workers)
         self.use_processes = use_processes
+        self.max_pending = (int(max_pending) if max_pending is not None
+                            else _env_capacity(MAX_PENDING_ENV))
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be a positive int, got {max_pending!r}")
+        self.max_queued_bytes = (
+            int(max_queued_bytes) if max_queued_bytes is not None
+            else _env_capacity(MAX_QUEUED_BYTES_ENV))
+        if self.max_queued_bytes is not None and self.max_queued_bytes < 1:
+            raise ValueError(
+                f"max_queued_bytes must be a positive int, "
+                f"got {max_queued_bytes!r}")
+        policy = admission_policy \
+            or os.environ.get(ADMISSION_POLICY_ENV, "").strip() \
+            or "reject"
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission_policy must be one of "
+                f"{', '.join(ADMISSION_POLICIES)}, got {policy!r}")
+        self.admission_policy = policy
         self.default_options = dict(default_options)
         self.stats = BatchStats()
         self._pipelines: Dict[str, CompilePipeline] = {}
@@ -188,6 +268,14 @@ class BatchCompiler:
             thread_name_prefix="tiramisu-batch")
         self._bind_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # The admission ledger: in-flight jobs in submission order,
+        # guarded by the stats lock; the condition wakes blocked
+        # submitters when a job settles.
+        self._admission = threading.Condition(self._stats_lock)
+        self._pending = 0
+        self._pending_bytes = 0
+        self._inflight: List[_Job] = []
+        self._shed_jobs: List[_Job] = []
         self._shut_down = False
 
     # -- lifecycle ------------------------------------------------------
@@ -234,6 +322,10 @@ class BatchCompiler:
             fn, pipeline.backend.name, pipeline._key_options(normalized))
         request = CompileRequest(fn=fn, target=resolved_target,
                                  options=opts)
+        # The byte estimate costs a pickle; only the bytes bound needs
+        # it, so the unbounded (and count-bounded) paths skip it.
+        cost_bytes = (self._estimate_cost(fn, opts)
+                      if self.max_queued_bytes is not None else 0)
         metrics.counter("compile_batch.submitted").inc()
         with self._stats_lock:
             self.stats.submitted += 1
@@ -247,32 +339,138 @@ class BatchCompiler:
                 handle = CompileHandle(job, request)
                 job.handles.append(handle)
                 return handle
-            job = _Job(fingerprint, fn, resolved_target, opts, normalized)
+            job = _Job(fingerprint, fn, resolved_target, opts, normalized,
+                       cost_bytes=cost_bytes)
+            self._admit_locked(job)   # may raise, block, or shed
             self._jobs[fingerprint] = job
         emit("batch.submit", EVT_BATCH, compile_id=job.compile_id,
              function=fn.name, target=resolved_target,
              key=fingerprint[:16])
         handle = CompileHandle(job, request)
         job.handles.append(handle)
-        thread_future = self._threads.submit(self._run_job, job)
-        thread_future.add_done_callback(
+        job.thread_future = self._threads.submit(self._run_job, job)
+        job.thread_future.add_done_callback(
             lambda tf, job=job: self._settle(job, tf))
         return handle
 
     @staticmethod
-    def _settle(job: _Job, thread_future: Future) -> None:
+    def _estimate_cost(fn, options: Dict[str, object]) -> int:
+        """The admission ledger's byte estimate for one job: the pickled
+        request size (what offloading would ship; 0 when unpicklable —
+        such jobs compile inline and hold little)."""
+        try:
+            return len(pickle.dumps((fn, options)))
+        except Exception:  # noqa: BLE001 - anything unpicklable
+            return 0
+
+    def _admit_locked(self, job: _Job) -> None:
+        """Admission control, called with the stats lock held.  Charges
+        the job to the pending ledger, or — over capacity — applies the
+        policy: raise :class:`AdmissionError`, wait on the condition, or
+        shed the oldest not-yet-started job to make room."""
+        from repro.obs.metrics import metrics
+        if self.max_pending is None and self.max_queued_bytes is None:
+            return
+        blocked = False
+        while True:
+            over_count = (self.max_pending is not None
+                          and self._pending >= self.max_pending)
+            # A single over-sized request is still admitted onto an
+            # empty ledger — otherwise it could never run at all.
+            over_bytes = (self.max_queued_bytes is not None
+                          and self._pending > 0
+                          and self._pending_bytes + job.cost_bytes
+                          > self.max_queued_bytes)
+            if not (over_count or over_bytes):
+                job.admitted = True
+                self._pending += 1
+                self._pending_bytes += job.cost_bytes
+                self._inflight.append(job)
+                return
+            limit = ("max_pending" if over_count else "max_queued_bytes")
+            if self.admission_policy == "shed-oldest" \
+                    and self._shed_oldest_locked():
+                continue
+            if self.admission_policy == "block":
+                if not blocked:
+                    blocked = True
+                    self.stats.admission_blocked += 1
+                    metrics.counter("resilience.admission.block").inc()
+                    emit("resilience.admission.block", EVT_RESILIENCE,
+                         compile_id=job.compile_id, limit=limit,
+                         pending=self._pending,
+                         pending_bytes=self._pending_bytes)
+                self._admission.wait()
+                continue
+            # "reject", or shed-oldest with nothing left to shed.
+            self.stats.admission_rejected += 1
+            metrics.counter("resilience.admission.reject").inc()
+            emit("resilience.admission.reject", EVT_RESILIENCE,
+                 compile_id=job.compile_id, limit=limit,
+                 pending=self._pending,
+                 pending_bytes=self._pending_bytes)
+            raise AdmissionError(
+                f"compile service over capacity ({limit}: "
+                f"{self._pending} pending, {self._pending_bytes} queued "
+                f"bytes); submission of {job.fn.name!r} refused")
+
+    def _shed_oldest_locked(self) -> bool:
+        """Cancel the oldest in-flight job that has not started running
+        (its handles fail with :class:`AdmissionError`); returns False
+        when every pending job is already executing."""
+        from repro.obs.metrics import metrics
+        for victim in self._inflight:
+            # shed is set before cancel(): a cancelled future runs its
+            # done callback synchronously in this thread, and _settle
+            # must see the flag (and skip the ledger) before then.
+            victim.shed = True
+            if victim.thread_future is None \
+                    or not victim.thread_future.cancel():
+                victim.shed = False
+                continue
+            self._inflight.remove(victim)
+            self._pending -= 1
+            self._pending_bytes -= victim.cost_bytes
+            self._jobs.pop(victim.fingerprint, None)
+            self._shed_jobs.append(victim)
+            self.stats.admission_shed += 1
+            metrics.counter("resilience.admission.shed").inc()
+            emit("resilience.admission.shed", EVT_RESILIENCE,
+                 compile_id=victim.compile_id,
+                 function=victim.fn.name)
+            victim.future.set_exception(AdmissionError(
+                f"compile of {victim.fn.name!r} shed before starting: "
+                f"the service is over capacity and newer work was "
+                f"admitted in its place"))
+            return True
+        return False
+
+    def _settle(self, job: _Job, thread_future: Future) -> None:
+        if job.shed or thread_future.cancelled():
+            return  # shed-oldest already failed the job's future
         exc = thread_future.exception()
         if exc is not None:
             job.future.set_exception(exc)
         else:
             job.future.set_result(thread_future.result())
+        if job.admitted:
+            with self._admission:
+                self._pending -= 1
+                self._pending_bytes -= job.cost_bytes
+                try:
+                    self._inflight.remove(job)
+                except ValueError:
+                    pass
+                self._admission.notify_all()
 
     def as_completed(self, timeout: Optional[float] = None
                      ) -> Iterator[CompileHandle]:
         """Yield every submitted handle as its compile finishes —
         duplicates of one job are yielded together, the moment their
-        shared compile lands."""
-        jobs = list(self._jobs.values())
+        shared compile lands.  Shed jobs count too — their futures are
+        already settled with :class:`AdmissionError`."""
+        with self._stats_lock:
+            jobs = list(self._jobs.values()) + list(self._shed_jobs)
         by_future = {job.future: job for job in jobs}
         for future in _futures_as_completed(by_future, timeout=timeout):
             yield from by_future[future].handles
@@ -287,9 +485,11 @@ class BatchCompiler:
 
     def _run_job(self, job: _Job):
         # Coordinating threads do not inherit the submitter's
-        # contextvars, so the job's id is installed explicitly here;
-        # everything the pipeline emits below joins it.
-        with compile_context(job.compile_id):
+        # contextvars, so the job's id — and its submit-time deadline —
+        # are installed explicitly here; everything the pipeline runs
+        # below inherits both.
+        with compile_context(job.compile_id), \
+                deadline_scope(job.deadline):
             return self._run_job_inner(job)
 
     def _run_job_inner(self, job: _Job):
@@ -343,6 +543,8 @@ class BatchCompiler:
         disk = pipeline._disk_tier()
         if disk is not None and job.fingerprint in disk:
             return False   # warm on disk: loading inline is cheaper
+        if not self._breaker_allows_offload(job):
+            return False
         from repro.backends.parallel import get_pool
         if get_pool(self.workers) is None:
             return False
@@ -352,15 +554,44 @@ class BatchCompiler:
             return False
         return True
 
+    def _breaker_allows_offload(self, job: _Job) -> bool:
+        """Consult the shared pool's circuit breaker before the costly
+        offload probes (pool creation, the picklability check): while
+        the breaker is open the job degrades to the inline path without
+        paying for a dispatch that will never happen."""
+        if pool_breaker().allow():
+            return True
+        from repro.obs.metrics import metrics
+        self._count(breaker_short_circuits=1, fallbacks=1)
+        metrics.counter("compile_batch.fallbacks").inc()
+        emit("batch.fallback", EVT_BATCH, compile_id=job.compile_id,
+             function=job.fn.name, reason="breaker-open")
+        return False
+
     def _compile_in_worker(self, job: _Job):
         """Dispatch one source compile onto the shared pool, with the
         parallel runtime's retry/timeout discipline.  Returns the
-        artifact dict, or None to fall back to an inline compile."""
-        from repro.backends.common import resolve_timeout
+        artifact dict, or None to fall back to an inline compile.
+
+        The shared pool's circuit breaker was already consulted in
+        :meth:`_offloadable`; the re-check here catches a trip that
+        lands between that probe and the dispatch, refusing the offload
+        so the compile degrades to the inline path without touching the
+        pool.  Each attempt first charges the job's deadline (stage
+        ``batch-offload``) and ships the remaining budget to the
+        worker; every infrastructure failure feeds the breaker, every
+        success resets it."""
         from repro.backends.parallel import discard_pool, get_pool
+        from repro.faults import get_plan
         from repro.obs.metrics import metrics
-        deadline = resolve_timeout(job.normalized.get("timeout"),
-                                   default=None)
+        breaker = pool_breaker()
+        if not breaker.allow():
+            self._count(breaker_short_circuits=1, fallbacks=1)
+            metrics.counter("compile_batch.fallbacks").inc()
+            emit("batch.fallback", EVT_BATCH, compile_id=job.compile_id,
+                 function=job.fn.name, reason="breaker-open")
+            return None
+        deadline = job.deadline
         on_failure = job.normalized.get("on_worker_failure", "fallback")
         retryable = on_failure != "raise"
         max_retries = int(job.normalized.get("max_retries", 2))
@@ -368,30 +599,44 @@ class BatchCompiler:
         delay = RETRY_BACKOFF
         failure: Optional[WorkerFailureError] = None
         for attempt in range(attempts):
+            if deadline is not None:
+                deadline.check("batch-offload")
             pool = get_pool(self.workers)
             if pool is None:
                 break
-            try:
-                future = pool.submit(_compile_source_job, job.fn,
-                                     job.target, job.options,
-                                     job.compile_id)
-            except Exception:  # noqa: BLE001 - submit-time pickling
-                return None
-            try:
-                return future.result(timeout=deadline)
-            except FuturesTimeoutError:
-                future.cancel()
-                failure = WorkerFailureError(
-                    f"batch compile of {job.fn.name!r} exceeded the "
-                    f"{deadline:g}s timeout (hung worker?)")
-            except BrokenProcessPool as exc:
+            plan = get_plan()
+            if plan is not None \
+                    and plan.fires("pool-refusal", op="batch"):
                 failure = WorkerFailureError(
                     f"batch compile of {job.fn.name!r}: the worker "
-                    f"pool died ({exc})")
-            except pickle.PicklingError:
-                return None
+                    f"pool refused the dispatch (injected)")
+            else:
+                remaining = (deadline.remaining()
+                             if deadline is not None else None)
+                try:
+                    future = pool.submit(_compile_source_job, job.fn,
+                                         job.target, job.options,
+                                         job.compile_id, remaining)
+                except Exception:  # noqa: BLE001 - submit-time pickling
+                    return None
+                try:
+                    artifact = future.result(timeout=remaining)
+                    breaker.record_success()
+                    return artifact
+                except FuturesTimeoutError:
+                    future.cancel()
+                    failure = WorkerFailureError(
+                        f"batch compile of {job.fn.name!r} exceeded "
+                        f"its {remaining:g}s budget (hung worker?)")
+                except BrokenProcessPool as exc:
+                    failure = WorkerFailureError(
+                        f"batch compile of {job.fn.name!r}: the worker "
+                        f"pool died ({exc})")
+                except pickle.PicklingError:
+                    return None
             # Everything else is a deterministic compile error and
             # propagates to every handle of this fingerprint.
+            breaker.record_failure()
             self._count(worker_failures=1)
             metrics.counter("compile_batch.worker_failures").inc()
             emit("batch.worker_failure", EVT_BATCH,
@@ -424,6 +669,9 @@ class BatchCompiler:
 def compile_batch(requests: Iterable, target: str = "cpu",
                   max_workers: Optional[int] = None,
                   use_processes: Optional[bool] = None,
+                  max_pending: Optional[int] = None,
+                  max_queued_bytes: Optional[int] = None,
+                  admission_policy: Optional[str] = None,
                   **options) -> List[object]:
     """Compile a batch and return the kernels in request order.
 
@@ -434,7 +682,11 @@ def compile_batch(requests: Iterable, target: str = "cpu",
     concurrently across the worker pool.  The first failed compile
     raises, after every in-flight job has settled."""
     with BatchCompiler(target=target, max_workers=max_workers,
-                       use_processes=use_processes, **options) as batch:
+                       use_processes=use_processes,
+                       max_pending=max_pending,
+                       max_queued_bytes=max_queued_bytes,
+                       admission_policy=admission_policy,
+                       **options) as batch:
         handles: List[CompileHandle] = []
         for request in requests:
             if isinstance(request, CompileRequest):

@@ -14,7 +14,10 @@ class CompileContext:
     ``beta`` (beta-resolution), ``items`` (time-space domains), ``ast``
     (AST generation), ``source`` (backend emit) and ``kernel`` (bind).
     ``extras`` holds backend-specific products (e.g. the GPU backend's
-    launch info).
+    launch info).  ``deadline`` is the request's end-to-end budget
+    (:class:`repro.driver.resilience.Deadline`, or None) — the ambient
+    deadline captured at ``_begin`` so stages holding only the context
+    can still charge it.
     """
 
     fn: object                               # repro.core.Function
@@ -22,6 +25,7 @@ class CompileContext:
     options: Dict[str, object]
     backend: object = None                   # repro.driver.registry.Backend
     report: object = None                    # repro.driver.trace.CompileReport
+    deadline: object = None                  # repro.driver.resilience.Deadline
     fingerprint: str = ""
     beta: Optional[Dict[str, List[int]]] = None
     items: Optional[list] = None             # codegen time-space items

@@ -41,6 +41,7 @@ stores exactly what ``emit`` produced.
 
 from __future__ import annotations
 
+import errno as _errno
 import hashlib
 import os
 import pickle
@@ -53,8 +54,49 @@ from .stats import CacheStats
 
 CACHE_DIR_ENV = "TIRAMISU_CACHE_DIR"
 CACHE_MAX_BYTES_ENV = "TIRAMISU_CACHE_MAX_BYTES"
+CACHE_MAX_QUARANTINE_ENV = "TIRAMISU_CACHE_MAX_QUARANTINE"
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: How many quarantined corpses the eviction pass keeps around as
+#: forensic evidence before dropping the oldest.
+DEFAULT_MAX_QUARANTINE = 8
+
+
+def resolve_max_quarantine() -> int:
+    """The quarantine-count cap (``TIRAMISU_CACHE_MAX_QUARANTINE``,
+    >= 0; 0 keeps no corpses at all)."""
+    raw = os.environ.get(CACHE_MAX_QUARANTINE_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_QUARANTINE
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_MAX_QUARANTINE_ENV} must be a non-negative int, "
+            f"got {raw!r}") from None
+    if cap < 0:
+        raise ValueError(
+            f"{CACHE_MAX_QUARANTINE_ENV} must be a non-negative int, "
+            f"got {raw!r}")
+    return cap
+
+
+def _injected_io_error(op: str, key: str) -> None:
+    """Raise the active fault plan's ``disk-io-error`` for this probe,
+    if any (ENOSPC for a store, EIO for a load, unless the spec pins an
+    errno)."""
+    from repro.faults import get_plan
+    plan = get_plan()
+    if plan is None:
+        return
+    spec = plan.fires("disk-io-error", op=op, key=key)
+    if spec is None:
+        return
+    code = int(spec.payload.get("errno") or 0)
+    if not code:
+        code = _errno.ENOSPC if op == "store" else _errno.EIO
+    raise OSError(code, f"injected disk-io-error ({op})")
 
 #: On-disk payload schema version; bump on incompatible changes so old
 #: artifacts read as corrupt-and-recompile, never as wrong code.
@@ -131,11 +173,22 @@ class DiskCache:
         from repro.obs.metrics import metrics
         path = self.path_for(key)
         try:
+            _injected_io_error("load", key)
             raw = path.read_bytes()
-        except OSError:
+        except FileNotFoundError:
             self.misses += 1
             metrics.counter("compile_cache.disk.miss").inc()
             emit("cache.disk.miss", EVT_CACHE, key=key[:16])
+            return None
+        except OSError as err:
+            # A real I/O failure (EIO, a yanked mount), not a cold key:
+            # journal it distinctly, then degrade to a miss so the
+            # pipeline recompiles from scratch.
+            self.misses += 1
+            metrics.counter("compile_cache.disk.load_error").inc()
+            metrics.counter("compile_cache.disk.miss").inc()
+            emit("cache.disk.load_error", EVT_CACHE, key=key[:16],
+                 errno=err.errno)
             return None
         entry = self._decode(key, raw)
         if entry is None:
@@ -211,36 +264,90 @@ class DiskCache:
                                         dir=self.root)
         try:
             with os.fdopen(fd, "wb") as tmp:
+                _injected_io_error("store", key)
                 tmp.write(raw)
             os.replace(tmp_name, path)
-        except OSError:
+        except OSError as err:
+            # The tmp file never became the artifact: remove it so a
+            # failed store can't leave a partial .pkl (or a stray temp)
+            # behind, journal the failure, and let the compile proceed
+            # from its in-memory artifact.
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            from repro.obs.events import EVT_CACHE, emit
+            from repro.obs.metrics import metrics
+            metrics.counter("compile_cache.disk.store_error").inc()
+            emit("cache.disk.store_error", EVT_CACHE, key=key[:16],
+                 errno=err.errno)
             return False
         self.evict_to_limit()
         return True
 
+    def _quarantined(self):
+        """Every quarantined corpse with its stat, oldest mtime first."""
+        out = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(_QUARANTINE_SUFFIX):
+                continue
+            path = self.root / name
+            try:
+                out.append((path, path.stat()))
+            except OSError:
+                continue  # concurrently removed
+        out.sort(key=lambda item: (item[1].st_mtime, item[0].name))
+        return out
+
     def evict_to_limit(self) -> None:
         """Trim the tier under ``max_bytes``, oldest mtime first.  The
         newest artifact always survives (a single artifact larger than
-        the bound would otherwise make the tier useless)."""
-        from repro.obs.events import EVT_CACHE, emit
-        from repro.obs.metrics import metrics
+        the bound would otherwise make the tier useless).
+
+        Quarantined corpses are bounded too: their *count* is capped at
+        ``TIRAMISU_CACHE_MAX_QUARANTINE`` (oldest dropped first), and
+        the survivors' bytes count toward ``max_bytes`` — when the tier
+        is over budget, forensic corpses are evicted before any live
+        artifact is."""
+        quarantined = self._quarantined()
+        cap = resolve_max_quarantine()
+        while len(quarantined) > cap:
+            path, st = quarantined.pop(0)
+            if not self._evict_one(path, "cache.disk.quarantine_evict",
+                                   "compile_cache.disk.quarantine_evict",
+                                   st.st_size):
+                continue
         artifacts = self._artifacts()
-        total = sum(st.st_size for _, st in artifacts)
+        total = sum(st.st_size for _, st in artifacts) \
+            + sum(st.st_size for _, st in quarantined)
+        while total > self.max_bytes and quarantined:
+            path, st = quarantined.pop(0)
+            if self._evict_one(path, "cache.disk.quarantine_evict",
+                               "compile_cache.disk.quarantine_evict",
+                               st.st_size):
+                total -= st.st_size
         while total > self.max_bytes and len(artifacts) > 1:
             path, st = artifacts.pop(0)
-            try:
-                path.unlink()
-            except OSError:
-                continue  # a concurrent evictor got there first
-            total -= st.st_size
-            self.evictions += 1
-            metrics.counter("compile_cache.disk.evict").inc()
-            emit("cache.disk.evict", EVT_CACHE,
-                 key=path.name[:-len(_SUFFIX)][:16], bytes=st.st_size)
+            if self._evict_one(path, "cache.disk.evict",
+                               "compile_cache.disk.evict", st.st_size):
+                total -= st.st_size
+
+    def _evict_one(self, path: Path, event: str, counter: str,
+                   size: int) -> bool:
+        from repro.obs.events import EVT_CACHE, emit
+        from repro.obs.metrics import metrics
+        try:
+            path.unlink()
+        except OSError:
+            return False  # a concurrent evictor got there first
+        self.evictions += 1
+        metrics.counter(counter).inc()
+        emit(event, EVT_CACHE, key=path.stem[:16], bytes=size)
+        return True
 
     # -- management -----------------------------------------------------
 
@@ -273,12 +380,16 @@ class DiskCache:
         artifact count on disk right now, ``bytes``/``max_bytes`` ride
         in the extras."""
         artifacts = self._artifacts()
+        quarantined = self._quarantined()
         return CacheStats(
             tier="disk", hits=self.hits, misses=self.misses,
             evictions=self.evictions, corruptions=self.corruptions,
             size=len(artifacts),
             extra={"bytes": sum(st.st_size for _, st in artifacts),
-                   "max_bytes": self.max_bytes})
+                   "max_bytes": self.max_bytes,
+                   "quarantined": len(quarantined),
+                   "quarantine_bytes": sum(st.st_size
+                                           for _, st in quarantined)})
 
 
 # -- process-wide activation -------------------------------------------------
@@ -342,4 +453,10 @@ def active_disk_cache() -> Optional[DiskCache]:
             _active = DiskCache(root, max_bytes)
         except OSError:
             return None  # unusable directory: run without the tier
+        # First activation of this (directory, bound): run the crash
+        # recovery sweep so a previous process's orphans — stale temp
+        # files, excess quarantine corpses, a torn journal tail — are
+        # repaired before any traffic is served from the tier.
+        from .recovery import sweep_on_activation
+        sweep_on_activation(_active)
     return _active

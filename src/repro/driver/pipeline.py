@@ -27,11 +27,12 @@ compiler itself.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.events import (EVT_CACHE, EVT_COMPILE, EVT_SEARCH,
-                              compile_context, current_compile_id,
-                              new_compile_id)
+from repro.obs.events import (EVT_CACHE, EVT_COMPILE, EVT_RESILIENCE,
+                              EVT_SEARCH, compile_context,
+                              current_compile_id, new_compile_id)
 from repro.obs.events import emit as emit_event
 
 from .cache import CacheEntry, CompileCache, kernel_registry
@@ -39,6 +40,7 @@ from .context import CompileContext
 from .diskcache import active_disk_cache
 from .fingerprint import ir_fingerprint
 from .registry import Backend, get_backend
+from .resilience import Deadline, current_deadline, deadline_scope
 from .trace import CompileReport, StageTiming, emit_trace
 
 #: Options every backend accepts, with their defaults.
@@ -90,6 +92,27 @@ STAGE_ORDER = ("ensure-params", "fingerprint", "autoschedule",
                "race-check", "emit", "bind")
 
 
+def enter_stage(stage: str) -> None:
+    """The gate every expensive pipeline stage passes through before it
+    starts: charge the ambient request :class:`Deadline` (raising
+    :class:`~repro.core.errors.DeadlineExceededError` naming ``stage``
+    when the budget is already gone — the stage never begins), journal
+    ``resilience.stage.begin`` so the fail-fast property is checkable
+    from the event log, and honor an injected ``slow-stage`` fault
+    (which models the stage itself stalling, blowing the budget for
+    whatever stage comes next)."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(stage)
+        emit_event("resilience.stage.begin", EVT_RESILIENCE, stage=stage)
+    from repro.faults import get_plan
+    plan = get_plan()
+    if plan is not None:
+        spec = plan.fires("slow-stage", stage=stage)
+        if spec is not None:
+            time.sleep(float(spec.payload.get("seconds", 0.05)))
+
+
 class CompilePipeline:
     """Runs the named compile stages for one backend."""
 
@@ -128,11 +151,20 @@ class CompilePipeline:
             raise TypeError(
                 f"max_retries must be a non-negative int, got {mr!r}")
         to = merged.get("timeout")
-        if to is not None and (isinstance(to, bool)
-                               or not isinstance(to, (int, float))
-                               or to <= 0):
-            raise TypeError(
-                f"timeout must be a positive number or None, got {to!r}")
+        if to is not None:
+            if isinstance(to, bool) or not isinstance(to, (int, float)):
+                raise TypeError(
+                    f"timeout must be a positive number or None, "
+                    f"got {to!r}")
+            if to <= 0:
+                raise ValueError(
+                    f"timeout must be a positive number, got {to!r}")
+        else:
+            # No explicit option: a broken TIRAMISU_TIMEOUT (zero,
+            # negative, garbage) must also fail here, at normalization,
+            # not deep inside the runtime that eventually resolves it.
+            from repro.backends.common import resolve_timeout
+            resolve_timeout(None, default=None)
         owf = merged.get("on_worker_failure")
         if owf not in ("retry", "fallback", "raise"):
             raise TypeError(
@@ -250,7 +282,7 @@ class CompilePipeline:
                                            or new_compile_id()))
         ctx = CompileContext(fn=fn, target=self.backend.name,
                              options=options, backend=self.backend,
-                             report=report)
+                             report=report, deadline=current_deadline())
         emit_event("compile.begin", EVT_COMPILE,
                    compile_id=report.compile_id, function=fn.name,
                    target=self.backend.name)
@@ -288,6 +320,7 @@ class CompilePipeline:
         fn, report, options = ctx.fn, ctx.report, ctx.options
         if options["check_legality"]:
             from repro.core.deps import check_schedule_legality
+            enter_stage("legality")
             with report.timed("legality"):
                 report.deps_checked = check_schedule_legality(fn)
 
@@ -302,10 +335,12 @@ class CompilePipeline:
         race_kinds = self._race_check_kinds(ctx)
         if race_kinds is not None:
             from repro.core.deps import check_parallel_legality
+            enter_stage("race-check")
             with report.timed("race-check"):
                 report.races_checked = check_parallel_legality(
                     fn, kinds=race_kinds)
 
+        enter_stage("emit")
         with report.timed("emit"):
             ctx.source = self.backend.emit(ctx)
         report.source_size = len(ctx.source)
@@ -327,6 +362,7 @@ class CompilePipeline:
                                       kernel=ctx.kernel))
             disk = self._disk_tier() if store_disk else None
             if disk is not None and ctx.fingerprint not in disk:
+                enter_stage("disk-store")
                 with report.timed("disk-store"):
                     disk.put(ctx.fingerprint, ctx.source,
                              self.backend.name, extras=ctx.extras)
@@ -339,9 +375,16 @@ class CompilePipeline:
         The whole compile runs under an ambient
         :func:`~repro.obs.events.compile_context`, so every journal
         event the cache tiers and lowering stages emit carries this
-        compile's correlation id without threading it explicitly."""
+        compile's correlation id without threading it explicitly — and
+        under an ambient :func:`deadline_scope`: the ``timeout`` option
+        (or ``TIRAMISU_TIMEOUT``) becomes the request's end-to-end
+        budget, charged from here, that every expensive stage checks
+        before starting."""
         options = self.normalize_options(opts)
-        with compile_context(current_compile_id() or new_compile_id()):
+        deadline = current_deadline() \
+            or Deadline.from_timeout(options["timeout"])
+        with compile_context(current_compile_id() or new_compile_id()), \
+                deadline_scope(deadline):
             ctx = self._begin(fn, options)
             return self._run_body(ctx)
 
@@ -362,6 +405,7 @@ class CompilePipeline:
                        key=ctx.fingerprint[:16])
             disk = self._disk_tier()
             if disk is not None:
+                enter_stage("disk-load")
                 with report.timed("disk-load"):
                     dentry = disk.get(ctx.fingerprint)
                 if dentry is not None:
@@ -398,7 +442,10 @@ class CompilePipeline:
         wherever it was paid.  The bound kernel is published to both
         cache tiers exactly as a local cold compile would be."""
         options = self.normalize_options(opts)
-        with compile_context(current_compile_id() or new_compile_id()):
+        deadline = current_deadline() \
+            or Deadline.from_timeout(options["timeout"])
+        with compile_context(current_compile_id() or new_compile_id()), \
+                deadline_scope(deadline):
             ctx = self._begin(fn, options)
             if fingerprint and fingerprint != ctx.fingerprint:
                 raise ValueError(
@@ -463,6 +510,7 @@ def compile_function(fn, target: str = "cpu", **opts):
 
 def compile_to_source(fn, target: str = "cpu",
                       compile_id: Optional[str] = None,
+                      deadline_remaining: Optional[float] = None,
                       **opts) -> Dict[str, object]:
     """Run the pipeline through ``emit`` only and return a picklable
     artifact — the half of a compile that is worth shipping between
@@ -479,17 +527,29 @@ def compile_to_source(fn, target: str = "cpu",
     ``compile_id`` pins the journal correlation id explicitly — a
     contextvars ambient id does not cross the process boundary, so the
     batch front end ships the submit-time id along with the job and the
-    worker's events still join the parent's."""
+    worker's events still join the parent's.  ``deadline_remaining``
+    crosses the same boundary for the request budget: monotonic clocks
+    do not travel between processes, so the parent ships the seconds it
+    has left and the worker resumes charging from there (a fresh
+    deadline is built from the ``timeout`` option only when nothing was
+    shipped)."""
     backend = get_backend(target)
     pipe = CompilePipeline(backend)
     options = pipe.normalize_options(opts)
+    if deadline_remaining is not None:
+        deadline = Deadline(deadline_remaining)
+    else:
+        deadline = current_deadline() \
+            or Deadline.from_timeout(options["timeout"])
     with compile_context(compile_id or current_compile_id()
-                         or new_compile_id()):
+                         or new_compile_id()), \
+            deadline_scope(deadline):
         ctx = pipe._begin(fn, options)
         shared = len(ctx.report.stages)   # ensure-params + fingerprint
         disk = pipe._disk_tier() if options["cache"] else None
         from_disk = False
         if disk is not None:
+            enter_stage("disk-load")
             dentry = disk.get(ctx.fingerprint)
             if dentry is not None:
                 ctx.source = dentry.source
@@ -498,6 +558,7 @@ def compile_to_source(fn, target: str = "cpu",
         if not from_disk:
             pipe._lower_and_emit(ctx)
             if disk is not None:
+                enter_stage("disk-store")
                 disk.put(ctx.fingerprint, ctx.source, backend.name,
                          extras=ctx.extras)
     return {

@@ -14,7 +14,18 @@ description of which faults fire where:
   ``(src, dst, message)`` where ``message`` counts sends on that link;
 * ``cache-corrupt`` — a compile-cache entry's stored source is
   damaged in place, addressed by ``key`` (fingerprint prefix) or by
-  ``index`` (the n-th cache probe).
+  ``index`` (the n-th cache probe);
+* ``slow-stage`` — one compile-pipeline stage stalls for a configured
+  number of seconds before running, addressed by ``stage`` name — the
+  tool for making a request blow its :class:`~repro.driver.resilience.
+  Deadline` inside a specific stage;
+* ``disk-io-error`` — the disk artifact tier raises ``OSError``
+  (``ENOSPC`` on ``op="store"``, ``EIO`` on ``op="load"`` by default),
+  addressed by ``op`` and ``key``;
+* ``pool-refusal`` — a worker-pool dispatch fails as if the pool died
+  (``op`` is ``"batch"`` or ``"parallel"``) without harming the real
+  pool: the deterministic way to exercise retry paths and trip the
+  :class:`~repro.driver.resilience.CircuitBreaker`.
 
 Sites are exact: a field left as ``None`` is a wildcard, anything else
 must match the coordinates the runtime presents at the injection
@@ -56,6 +67,9 @@ FAULT_KINDS: Dict[str, Tuple[str, ...]] = {
     "message-drop": ("src", "dst", "message", "index"),
     "message-corrupt": ("src", "dst", "message", "index"),
     "cache-corrupt": ("key", "index"),
+    "slow-stage": ("stage", "index"),
+    "disk-io-error": ("op", "key", "index"),
+    "pool-refusal": ("op", "index"),
 }
 
 
@@ -167,6 +181,32 @@ class FaultPlan:
         entry)."""
         return self._add("cache-corrupt", {"key": key, "index": index},
                          times)
+
+    def slow_stage(self, stage=None, seconds: float = 0.05,
+                   times: int = 1) -> "FaultPlan":
+        """Stall compile-pipeline stage ``stage`` (None = the next
+        guarded stage) for ``seconds`` before it runs — long enough and
+        the request's deadline expires *inside* the stage, so the next
+        guard fails it fast."""
+        return self._add("slow-stage", {"stage": stage}, times,
+                         {"seconds": float(seconds)})
+
+    def disk_io_error(self, op=None, key=None, err: int = 0,
+                      times: int = 1) -> "FaultPlan":
+        """Make the disk artifact tier raise ``OSError`` at ``op``
+        (``"store"`` / ``"load"``, None = either).  ``err`` is the
+        errno (0 picks the natural one per op: ENOSPC for a store,
+        EIO for a load)."""
+        return self._add("disk-io-error", {"op": op, "key": key}, times,
+                         {"errno": int(err)})
+
+    def refuse_pool(self, op=None, times: int = 1) -> "FaultPlan":
+        """Fail a worker-pool dispatch as if the pool died — ``op`` is
+        ``"batch"`` (a batch compile offload) or ``"parallel"`` (a
+        parallel-region dispatch), None = either.  The real pool is
+        untouched; the runtimes treat the refusal exactly like
+        ``BrokenProcessPool`` (retry, breaker, fallback)."""
+        return self._add("pool-refusal", {"op": op}, times)
 
     # -- matching ---------------------------------------------------------
 

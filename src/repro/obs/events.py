@@ -61,6 +61,7 @@ EVT_BATCH = "batch"
 EVT_PARALLEL = "parallel"
 EVT_FAULT = "fault"
 EVT_SEARCH = "search"
+EVT_RESILIENCE = "resilience"
 
 
 # -- correlation --------------------------------------------------------------
@@ -229,24 +230,80 @@ def emit(name: str, cat: str, compile_id: Optional[str] = None,
     })
 
 
-def read_events(path: str) -> List[Dict[str, object]]:
-    """Parse a journal file back into event dicts.  Raises ValueError
-    naming the first malformed line — the journal's append discipline
-    means a malformed line is a real bug, not an expected race."""
+def read_journal(path: str):
+    """Parse a journal file into ``(records, torn_tail)``.
+
+    The append discipline (one ``O_APPEND`` write per complete line)
+    means the only damage a crash can leave is a *torn tail*: a final
+    line cut short, with no trailing newline.  Such a fragment is
+    returned as ``torn_tail`` (the raw text, or None) instead of
+    failing the whole read — every complete record before it is still
+    served.  An *interior* malformed line can never come from a crash
+    and still raises ValueError naming it: that is a real bug.
+    """
     out: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as err:
-                raise ValueError(
-                    f"{path}:{lineno}: malformed journal line: {err}"
-                    ) from None
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"{path}:{lineno}: journal line is not an object")
-            out.append(record)
-    return out
+        text = fh.read()
+    lines = text.split("\n")
+    # A file ending in "\n" splits to a trailing "" — complete file.
+    # Anything else in the final slot is an unterminated fragment.
+    fragment = lines.pop() if lines else ""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(
+                f"{path}:{lineno}: malformed journal line: {err}"
+                ) from None
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{path}:{lineno}: journal line is not an object")
+        out.append(record)
+    torn: Optional[str] = None
+    if fragment.strip():
+        # The write was cut mid-record; if what landed happens to
+        # parse, the only thing missing was the newline — keep it.
+        try:
+            record = json.loads(fragment)
+        except json.JSONDecodeError:
+            torn = fragment
+        else:
+            if isinstance(record, dict):
+                out.append(record)
+            else:
+                torn = fragment
+    return out, torn
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Parse a journal file back into event dicts.
+
+    A torn trailing line (a crash mid-append) is tolerated: every
+    complete record is returned and the fragment is dropped — use
+    :func:`read_journal` to see the torn tail itself, or
+    :func:`repair_journal` to truncate it away.  Interior malformed
+    lines still raise ValueError naming the line: the journal's append
+    discipline means those are real bugs, not expected races."""
+    records, _ = read_journal(path)
+    return records
+
+
+def repair_journal(path: str) -> int:
+    """Truncate a torn trailing record (anything after the last
+    newline) off the journal; returns the number of bytes removed (0
+    when the file was already clean or absent)."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return 0
+    if not data or data.endswith(b"\n"):
+        return 0
+    cut = data.rfind(b"\n") + 1  # 0 when no newline at all: empty file
+    removed = len(data) - cut
+    with open(path, "r+b") as fh:
+        fh.truncate(cut)
+    return removed

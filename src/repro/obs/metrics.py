@@ -37,6 +37,16 @@ on-disk artifact tier, and ``compile_batch.{submitted,deduplicated,
 worker_compiles,inline_compiles,worker_failures,retries,pool_restarts,
 fallbacks}`` from the batch front end.
 
+The self-protection layer (docs/robustness.md) counts its decisions:
+``resilience.deadline.exceeded``, the breaker transitions
+``resilience.breaker.{open,half_open,close,short_circuit}`` (state on
+the ``resilience.breaker.state`` gauge), admission control
+``resilience.admission.{reject,shed,block}``, crash recovery
+``resilience.recovery.{tmp_removed,quarantine_removed,journal_repairs}``,
+absorbed disk-tier I/O failures
+``compile_cache.disk.{load_error,store_error}``, and
+``parallel.breaker_blocks`` from the degraded parallel runtime.
+
 The autoscheduler (docs/autoscheduler.md) accounts for its search here:
 ``autosched.candidates`` (plans enumerated, legal or not),
 ``autosched.pruned_illegal`` (killed by the legality checks before any

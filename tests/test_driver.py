@@ -164,10 +164,24 @@ class TestFaultToleranceOptions:
 
     def test_timeout_validated(self):
         f, _ = build_simple()
-        for bad in (-1, 0, True, "5s"):
+        # Wrong types are TypeErrors; zero/negative are valid types
+        # with an invalid value — ValueError, at normalization time.
+        for bad in (True, "5s"):
             with pytest.raises(TypeError, match="timeout"):
                 f.compile("cpu", timeout=bad)
+        for bad in (-1, 0, 0.0, -2.5):
+            with pytest.raises(ValueError, match="timeout"):
+                f.compile("cpu", timeout=bad)
         assert f.compile("cpu", timeout=2.5) is not None
+
+    def test_timeout_env_validated_at_normalization(self, monkeypatch):
+        f, _ = build_simple()
+        for bad in ("0", "-3", "soon"):
+            monkeypatch.setenv("TIRAMISU_TIMEOUT", bad)
+            with pytest.raises(ValueError, match="TIRAMISU_TIMEOUT"):
+                f.compile("cpu")
+        monkeypatch.setenv("TIRAMISU_TIMEOUT", "30")
+        assert f.compile("cpu") is not None
 
     def test_on_worker_failure_validated(self):
         f, _ = build_simple()

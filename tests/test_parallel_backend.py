@@ -344,7 +344,7 @@ class TestTimeoutConfig:
 
     def test_invalid_env_timeout_raises(self, monkeypatch):
         monkeypatch.setenv("TIRAMISU_TIMEOUT", "-3")
-        with pytest.raises(ValueError, match="timeout"):
+        with pytest.raises(ValueError, match="TIRAMISU_TIMEOUT"):
             ParallelRuntime("src", 2)
 
     def test_no_timeout_means_wait_forever(self, monkeypatch):
