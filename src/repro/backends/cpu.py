@@ -133,30 +133,53 @@ class CompiledKernel:
 
 
 def emit_source(fn: Function, emitter_cls=Emitter, ast=None,
-                profile: bool = False) -> str:
+                profile: bool = False, taskgraph: bool = False) -> str:
     """Emit the Python/NumPy kernel source.  ``ast`` is the staged
     driver's pre-lowered AST; without it the function lowers itself.
     Chunked parallel body functions (if any) precede ``_kernel``.
     ``profile=True`` adds per-computation counters and loop-nest spans
     reporting into an ``_obs`` collector (see repro.obs); off, the
-    source is byte-identical to an unprofiled build."""
+    source is byte-identical to an unprofiled build.
+
+    ``taskgraph=True`` (the ``execution="taskgraph"`` compile option)
+    additionally emits — when the nest is eligible, see
+    :meth:`~repro.codegen.pyemit.Emitter.try_taskgraph` — a
+    ``_tile_body`` / ``_tile_grid`` pair plus a ``_TASKGRAPH_DIMS``
+    marker, and a dispatch preamble in ``_kernel`` that hands the whole
+    nest to an attached task-graph runtime; when the runtime declines
+    (pool unavailable, chain DAG, ...) the preamble falls through to
+    the unchanged nest, so results stay bit-identical to sequential.
+    Profiled builds skip task-graph emission (per-tile counters are
+    not aggregated); the option then degrades to the normal path."""
     if ast is None:
         infer_argument_kinds(fn)
         ast = fn.lower()
     emitter = emitter_cls(fn, fn.param_names, profile=profile) \
         if profile else emitter_cls(fn, fn.param_names)
+    tg_dims = None
+    if taskgraph and not profile:
+        tg_dims = emitter.try_taskgraph(ast)
     if profile:
         emitter.line("def _kernel(_bufs, _params, _runtime=None, "
                      "_obs=None):")
     else:
         emitter.line("def _kernel(_bufs, _params, _runtime=None):")
     emitter.indent += 1
+    if tg_dims:
+        emitter.line("_tg = getattr(_runtime, 'run_taskgraph', None)")
+        emitter.line("if _tg is not None and _tg(_params):")
+        emitter.indent += 1
+        emitter.line("return  # the task-graph runtime ran the nest")
+        emitter.indent -= 1
     emitter.emit_prologue()
     emitter.emit_block(ast)
     if profile:
         emitter.emit_profile_flush()
     emitter.indent -= 1
     bodies = "".join(body + "\n" for body in emitter.parallel_bodies)
+    bodies += "".join(body + "\n" for body in emitter.taskgraph_bodies)
+    if tg_dims:
+        bodies += f"_TASKGRAPH_DIMS = {tg_dims}\n\n"
     prelude = _PRELUDE + (_PROFILE_PRELUDE if profile else "")
     return prelude + "\n" + bodies + emitter.buf.getvalue()
 
@@ -177,8 +200,9 @@ class CpuBackend(Backend):
     bind_from_source = True
 
     def emit(self, ctx) -> str:
-        return emit_source(ctx.fn, ast=ctx.ast,
-                           profile=bool(ctx.opt("profile")))
+        return emit_source(
+            ctx.fn, ast=ctx.ast, profile=bool(ctx.opt("profile")),
+            taskgraph=ctx.opt("execution", "forkjoin") == "taskgraph")
 
     def bind(self, ctx) -> CompiledKernel:
         pyfunc = _bind_python_kernel(ctx.fn, ctx.source, "tiramisu")
@@ -187,6 +211,20 @@ class CpuBackend(Backend):
                                 ctx.fn.param_names)
         kernel.profiled = bool(ctx.opt("profile"))
         kernel.parallel_regions = ctx.source.count("\ndef _par_body_")
+        taskgraph = ("\n_TASKGRAPH_DIMS = " in ctx.source
+                     and ctx.opt("execution", "forkjoin") == "taskgraph")
+        if taskgraph and ctx.opt("parallel", True):
+            from repro.runtime.scheduler import TaskGraphRuntime
+            from .parallel import resolve_num_threads
+            workers = resolve_num_threads(ctx.opt("num_threads"))
+            if workers >= 2:
+                kernel.runtime = TaskGraphRuntime(
+                    ctx.source, ctx.fn, workers,
+                    max_retries=ctx.opt("max_retries", 2),
+                    timeout=ctx.opt("timeout"),
+                    on_worker_failure=ctx.opt("on_worker_failure",
+                                              "fallback"))
+                return kernel
         if kernel.parallel_regions and ctx.opt("parallel", True):
             from .parallel import ParallelRuntime, resolve_num_threads
             workers = resolve_num_threads(ctx.opt("num_threads"))

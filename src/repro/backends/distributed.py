@@ -60,12 +60,43 @@ class CommStats:
 
     messages: List[Tuple[int, int, int]] = field(default_factory=list)
     # (src, dst, elements)
+    kinds: List[str] = field(default_factory=list)
+    # "sync" | "async", aligned with ``messages``
 
     def total_elements(self) -> int:
         return sum(m[2] for m in self.messages)
 
     def message_count(self) -> int:
         return len(self.messages)
+
+    def async_fraction(self) -> float:
+        """Fraction of messages posted asynchronously — the natural
+        ``overlap`` input for :func:`repro.machine.network.
+        estimate_messages`: async sends may hide behind compute,
+        synchronous (rendezvous) sends cannot."""
+        if not self.kinds:
+            return 0.0
+        return (sum(1 for k in self.kinds if k == "async")
+                / len(self.kinds))
+
+
+class SendRequest:
+    """MPI_Isend-style completion handle returned by
+    :meth:`MPIRuntime.isend`.  In the simulator a buffered (async) send
+    is on the wire the moment it is posted, so the handle completes
+    when the *receiver* consumes the payload — ``wait`` is the point a
+    task scheduler stops overlapping and synchronises."""
+
+    def __init__(self, event: Optional[threading.Event] = None):
+        self._event = event
+
+    def done(self) -> bool:
+        return self._event is None or self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if self._event is None:
+            return True
+        return self._event.wait(timeout)
 
 
 class MPIRuntime:
@@ -79,7 +110,20 @@ class MPIRuntime:
         self.timeout = (timeout if timeout is not None
                         else DEFAULT_RECV_TIMEOUT)
 
-    def send(self, dest: int, data: np.ndarray, sync: bool = False) -> None:
+    def send(self, dest: int, data: np.ndarray,
+             sync: bool = False) -> SendRequest:
+        """Post a message to ``dest``.
+
+        ``sync=False`` (the default) is a buffered, asynchronous send:
+        it returns the moment the payload is on the wire, so the caller
+        can overlap the transfer with compute (:meth:`isend` is the
+        same thing returning before any blocking).  ``sync=True`` is a
+        rendezvous send (MPI ``Ssend``): it blocks until the receiver
+        has consumed the payload, failing fast if the peer dies and
+        timing out on a mismatched schedule.  Each message's kind is
+        recorded in :class:`CommStats` so the network model can price
+        the achievable overlap.
+        """
         dest = int(dest)
         world = self.world
         if not 0 <= dest < world.size:
@@ -87,6 +131,7 @@ class MPIRuntime:
         msg_index = world.next_message_index(self.rank, dest)
         with world.lock:
             world.stats.messages.append((self.rank, dest, data.size))
+            world.stats.kinds.append("sync" if sync else "async")
         payload = np.array(data, copy=True)
         plan = world.plan
         if plan is not None:
@@ -94,12 +139,51 @@ class MPIRuntime:
             if plan.fires("message-drop", **coords):
                 from repro.obs.metrics import metrics
                 metrics.counter("dist.messages_dropped").inc()
-                return  # lost on the link; the receiver times out
+                # Lost on the link; the receiver times out.  The sync
+                # sender's completion is left to that receive-timeout
+                # machinery rather than blocking here forever.
+                return SendRequest()
             if plan.fires("message-corrupt", **coords):
                 plan.corrupt_array(payload, "message-corrupt", **coords)
                 from repro.obs.metrics import metrics
                 metrics.counter("dist.messages_corrupted").inc()
-        world.channel(self.rank, dest).put(payload)
+        event = threading.Event()
+        world.channel(self.rank, dest).put((payload, event))
+        request = SendRequest(event)
+        if sync:
+            self._await_delivery(dest, event)
+        return request
+
+    def isend(self, dest: int, data: np.ndarray) -> SendRequest:
+        """Asynchronous send returning a completion handle (MPI
+        ``Isend``): the task scheduler posts these and overlaps the
+        transfer with compute, calling :meth:`SendRequest.wait` only at
+        the point the overlap window closes."""
+        return self.send(dest, data, sync=False)
+
+    def _await_delivery(self, dest: int, event: threading.Event) -> None:
+        """Rendezvous tail of a sync send: block until the receiver
+        consumes the payload, with the same fail-fast behaviour as a
+        blocked receive."""
+        world = self.world
+        deadline = time.monotonic() + self.timeout
+        poll = max(0.001, min(POLL_INTERVAL, self.timeout / 4))
+        world.note_waiting(self.rank, dest)
+        try:
+            while not event.wait(poll):
+                failure = world.failure_of(dest)
+                if failure is not None:
+                    raise RankFailedError(
+                        f"rank {self.rank}: peer rank {dest} failed "
+                        f"during synchronous send: {failure}", rank=dest)
+                if time.monotonic() >= deadline:
+                    raise ExecutionError(
+                        f"rank {self.rank}: synchronous send to {dest} "
+                        f"not matched by a receive within "
+                        f"{self.timeout:g}s (mismatched send/receive "
+                        "schedule?)")
+        finally:
+            world.clear_waiting(self.rank)
 
     def recv(self, source: int,
              timeout: Optional[float] = None) -> np.ndarray:
@@ -126,7 +210,9 @@ class MPIRuntime:
                         f"rank {self.rank}: peer rank {source} failed: "
                         f"{failure}", rank=source)
                 try:
-                    return channel.get(timeout=poll)
+                    payload, event = channel.get(timeout=poll)
+                    event.set()   # completes any rendezvous sender
+                    return payload
                 except queue.Empty:
                     pass
                 cycle = world.deadlock_cycle(self.rank)
@@ -162,6 +248,21 @@ class MPIRuntime:
                 raise RankFailedError(
                     f"rank {self.rank}: barrier broken — rank {rank} "
                     f"failed: {message}", rank=rank) from None
+            # No rank died: the break was a timeout.  Consult the
+            # wait-for table — when peers never reached the barrier
+            # because they are deadlocked in recv, say so (the recv
+            # path's detector cannot: a barrier waiter is not in the
+            # waiting table, so "every live rank blocked in recv"
+            # never becomes true).
+            cycle = self.world.recv_cycle()
+            if cycle is not None:
+                from repro.obs.metrics import metrics
+                metrics.counter("dist.deadlocks").inc()
+                chain = " -> ".join(f"rank {r}" for r in cycle)
+                raise DeadlockError(
+                    f"rank {self.rank}: barrier broken — wait-for cycle "
+                    f"{chain} kept peers from ever reaching the barrier",
+                    cycle=cycle) from None
             raise ExecutionError(
                 f"rank {self.rank}: barrier broken (a peer timed out or "
                 "aborted)") from None
@@ -259,6 +360,38 @@ class World:
                     return None  # a payload is already in flight
                 cursor = target
             return path[path.index(cursor):] + [cursor]
+
+    def recv_cycle(self) -> Optional[List[int]]:
+        """A wait-for cycle among ranks currently blocked in ``recv``,
+        *without* requiring every live rank to be blocked.
+
+        :meth:`deadlock_cycle` is the conservative detector the recv
+        poll loop runs — demanding every live rank be waiting keeps it
+        from firing while some rank could still make progress.  The
+        barrier path needs the opposite: the asking rank is provably
+        stuck (its barrier already broke on timeout) yet sits in the
+        barrier, not the waiting table, so the all-live condition can
+        never hold.  Here any closed recv→recv cycle is a diagnosis:
+        those ranks will never reach the barrier.  Edges that resolve
+        on their own (target failed or finished, payload already in
+        flight) break the chain."""
+        with self.lock:
+            for start in list(self.waiting):
+                path: List[int] = []
+                cursor = start
+                while True:
+                    if cursor in path:
+                        return path[path.index(cursor):] + [cursor]
+                    target = self.waiting.get(cursor)
+                    if (target is None or target in self.failed
+                            or target in self.finished):
+                        break
+                    pending = self.channels.get((target, cursor))
+                    if pending is not None and not pending.empty():
+                        break
+                    path.append(cursor)
+                    cursor = target
+            return None
 
 
 class DistEmitter(Emitter):

@@ -131,6 +131,8 @@ class Emitter:
         self._depth = 0           # loop-nest depth of the current node
         self._par_count = 0
         self.parallel_bodies: List[str] = []  # chunked worker functions
+        self.taskgraph_bodies: List[str] = []  # tile body + grid functions
+        self.taskgraph_dims: Optional[int] = None
         self._fn_offload_ok: Optional[bool] = None
         # profile=True wraps loop nests with counters/spans reporting
         # into an ``_obs`` collector; off, emission is byte-identical
@@ -386,6 +388,134 @@ class Emitter:
         self.indent -= 1
         src = self.buf.getvalue()
         self.buf, self.indent = saved_buf, saved_indent
+        return src
+
+    # -- task-graph tiling ---------------------------------------------------
+
+    def try_taskgraph(self, ast: Block) -> Optional[int]:
+        """Render the tile-execution support functions for the
+        task-graph runtime (``execution="taskgraph"``), when the nest
+        is eligible.
+
+        Eligibility: the function is a single top-level loop nest whose
+        body can run in a worker process (the same test as parallel
+        offload), with parameter-only bounds on the clamped level(s)
+        and an *identity schedule* there — so a dependence distance in
+        iteration space is also a distance in emitted loop space and
+        the tile DAG built from it is sound.  Two levels are clamped
+        when the nest is a perfect 2-deep prefix with rectangular
+        (parameter-only) inner bounds; otherwise one.  Returns the
+        number of clamped dimensions and records ``_tile_body`` /
+        ``_tile_grid`` in :attr:`taskgraph_bodies`, or returns None —
+        the source is then emitted without task-graph support and the
+        option degrades to the normal sequential/fork-join path.
+        """
+        if len(ast.children) != 1 or not isinstance(ast.children[0], Loop):
+            return None
+        top = ast.children[0]
+        if not self._offload_safe(top) or not self._bounds_param_only(top):
+            return None
+        levels = [top]
+        inner = top.body.children
+        if (len(inner) == 1 and isinstance(inner[0], Loop)
+                and self._bounds_param_only(inner[0])):
+            levels.append(inner[0])
+        if not self._identity_scheduled(top, len(levels)):
+            if len(levels) == 1 or not self._identity_scheduled(top, 1):
+                return None
+            levels = levels[:1]  # only the outer level is identity
+        self.taskgraph_bodies.append(self._render_tile_grid(levels))
+        self.taskgraph_bodies.append(self._render_tile_body(levels))
+        self.taskgraph_dims = len(levels)
+        return self.taskgraph_dims
+
+    @staticmethod
+    def _bounds_param_only(loop: Loop) -> bool:
+        """True when no bound of ``loop`` references an enclosing loop
+        dim (or an existentially quantified div) — the global extent is
+        then a pure parameter expression the tile grid can evaluate."""
+        for groups in (loop.lowers, loop.uppers):
+            for g in groups:
+                for __, e in g:
+                    if any(kind != PARAM for kind, __i in e.dims()):
+                        return False
+        return True
+
+    def _identity_scheduled(self, top: Loop, dims: int) -> bool:
+        """Every statement under ``top`` iterates at least ``dims``
+        loops and its schedule maps original iterator k to time dim k
+        unchanged for k < dims (no skew/shift/reorder on the clamped
+        levels)."""
+        todo: List[Node] = [top]
+        found = False
+        while todo:
+            node = todo.pop()
+            if isinstance(node, Stmt):
+                found = True
+                comp = node.comp
+                if len(comp.var_names) < dims or node.depth < dims:
+                    return False
+                for k in range(dims):
+                    le = comp.rev.get(comp.var_names[k])
+                    if le is None:
+                        return False
+                    try:
+                        if lin_to_py(le, self.params) != f"t{k}":
+                            return False
+                    except CodegenError:
+                        return False
+            elif isinstance(node, Loop):
+                todo.extend(node.body.children)
+            elif isinstance(node, Block):
+                todo.extend(node.children)
+        return found
+
+    def _render_tile_grid(self, levels: List[Loop]) -> str:
+        """``_tile_grid(_params)``: the inclusive global [lo, hi] of
+        each clamped level, evaluated from parameters alone — the
+        iteration box the runtime partitions into tiles."""
+        saved_buf, saved_indent = self.buf, self.indent
+        self.buf, self.indent = io.StringIO(), 0
+        self.line("def _tile_grid(_params):")
+        self.indent += 1
+        for p in self.params:
+            self.line(f"{p} = _params[{p!r}]")
+        pairs = []
+        for loop in levels:
+            lo = bounds_group_py(loop.lowers, self.params, True)
+            hi = bounds_group_py(loop.uppers, self.params, False)
+            pairs.append(f"({lo}, ({hi}))")
+        self.line(f"return [{', '.join(pairs)}]")
+        self.indent -= 1
+        src = self.buf.getvalue()
+        self.buf, self.indent = saved_buf, saved_indent
+        return src
+
+    def _render_tile_body(self, levels: List[Loop]) -> str:
+        """``_tile_body(_bufs, _params, _lo0, _hi0[, _lo1, _hi1])``:
+        the nest with the clamped levels intersected with the tile box
+        (``max``/``min`` against the original bounds), everything
+        deeper emitted unchanged.  Runs in a worker process against the
+        shared staging buffers, exactly like a ``_par_body_k`` chunk."""
+        saved_buf, saved_indent = self.buf, self.indent
+        saved_depth = self._depth
+        self.buf, self.indent, self._depth = io.StringIO(), 0, 0
+        args = ", ".join(f"_lo{k}, _hi{k}" for k in range(len(levels)))
+        self.line(f"def _tile_body(_bufs, _params, {args}):")
+        self.indent += 1
+        self.emit_prologue()
+        for k, loop in enumerate(levels):
+            lo = bounds_group_py(loop.lowers, self.params, True)
+            hi = bounds_group_py(loop.uppers, self.params, False)
+            self.line(f"for t{loop.level} in range(max({lo}, _lo{k}), "
+                      f"min(({hi}), _hi{k}) + 1):"
+                      f"  # tile dim ({loop.var})")
+            self.indent += 1
+            self._depth += 1
+        self.emit_block(levels[-1].body)
+        src = self.buf.getvalue()
+        self.buf, self.indent = saved_buf, saved_indent
+        self._depth = saved_depth
         return src
 
     # -- vectorization ----------------------------------------------------------

@@ -72,6 +72,13 @@ BASE_OPTIONS: Dict[str, object] = {
     "max_retries": 2,
     "timeout": None,
     "on_worker_failure": "fallback",
+    # Execution policy for the compiled kernel: "forkjoin" runs
+    # parallel-tagged loops as chunked barrier rounds, "taskgraph"
+    # lowers an eligible nest to a dependence-driven tile DAG executed
+    # by repro.runtime (docs/task_runtime.md) — and degrades to the
+    # fork-join path whenever the nest is ineligible or the runtime
+    # declines.  Changes the emitted source, so it rides the cache key.
+    "execution": "forkjoin",
     # Autoscheduling: a repro.autosched SchedulePlan (or its serialized
     # JSON) applied for the lowering stages only — the function is
     # restored afterwards, so the fingerprint always describes the
@@ -170,6 +177,11 @@ class CompilePipeline:
             raise TypeError(
                 f"on_worker_failure must be 'retry', 'fallback' or "
                 f"'raise', got {owf!r}")
+        execution = merged.get("execution")
+        if execution not in ("forkjoin", "taskgraph"):
+            raise TypeError(
+                f"execution must be 'forkjoin' or 'taskgraph', "
+                f"got {execution!r}")
         merged["autoschedule"] = self._canonical_plan(
             merged.get("autoschedule"))
         return merged

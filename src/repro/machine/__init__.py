@@ -6,7 +6,8 @@ from .cachesim import (SetAssociativeCache, TraceSimulator, TraceStats,
                        simulate_trace)
 from .cpu_model import CostReport, CpuCostModel
 from .gpu_model import GpuCostModel, GpuCostReport
-from .network import (CommEstimate, estimate_messages,
+from .network import (CommEstimate, CriticalPathEstimate,
+                      estimate_critical_path, estimate_messages,
                       estimate_with_faults, halo_exchange_time,
                       message_time)
 from .params import (DEFAULT_CPU, DEFAULT_GPU, DEFAULT_NETWORK, Cluster,
@@ -16,7 +17,8 @@ __all__ = [
     "SetAssociativeCache", "TraceSimulator", "TraceStats",
     "simulate_trace",
     "CostReport", "CpuCostModel", "GpuCostModel", "GpuCostReport",
-    "CommEstimate", "estimate_messages", "estimate_with_faults",
+    "CommEstimate", "CriticalPathEstimate", "estimate_critical_path",
+    "estimate_messages", "estimate_with_faults",
     "halo_exchange_time",
     "message_time", "DEFAULT_CPU", "DEFAULT_GPU", "DEFAULT_NETWORK",
     "Cluster", "CpuMachine", "GpuMachine", "Network",

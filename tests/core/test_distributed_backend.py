@@ -1,6 +1,8 @@
 """Distributed backend tests: rank-conditional codegen, send/receive
 semantics, halo exchange, and communication statistics."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -134,3 +136,91 @@ class TestRuntimeErrors:
                 k(ranks=1, inputs={}, params={"Nodes": 1})
         finally:
             D.MPIRuntime.recv = orig
+
+
+class TestAsyncSend:
+    """MPI_Isend-style sends: the completion handle, the sync
+    (rendezvous) variant, and the per-message kind record the network
+    model's overlap input comes from."""
+
+    def make_pair(self, timeout=5.0):
+        from repro.backends.distributed import MPIRuntime, World
+        world = World(2)
+        return (world, MPIRuntime(0, world, timeout=timeout),
+                MPIRuntime(1, world, timeout=timeout))
+
+    def test_async_send_returns_pending_handle(self):
+        world, r0, r1 = self.make_pair()
+        req = r0.send(1, np.arange(4.0))
+        assert not req.done()          # posted, not yet consumed
+        out = r1.recv(0)
+        assert np.array_equal(out, np.arange(4.0))
+        assert req.done()              # the receive completed it
+        assert req.wait(timeout=0.1)
+
+    def test_isend_is_the_async_alias(self):
+        world, r0, r1 = self.make_pair()
+        req = r0.isend(1, np.ones(3))
+        r1.recv(0)
+        assert req.done()
+        assert world.stats.kinds == ["async"]
+
+    def test_sync_send_blocks_until_received(self):
+        import threading
+        world, r0, r1 = self.make_pair()
+        order = []
+
+        def receiver():
+            time.sleep(0.15)
+            order.append("recv")
+            r1.recv(0)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        req = r0.send(1, np.ones(2), sync=True)   # rendezvous
+        order.append("send-returned")
+        t.join()
+        assert order == ["recv", "send-returned"]
+        assert req.done()
+
+    def test_unmatched_sync_send_times_out(self):
+        world, r0, r1 = self.make_pair(timeout=0.3)
+        with pytest.raises(ExecutionError) as err:
+            r0.send(1, np.ones(2), sync=True)
+        assert "not matched by a receive" in str(err.value)
+
+    def test_sync_send_fails_fast_when_peer_dies(self):
+        import threading
+        from repro.core.errors import RankFailedError
+        world, r0, r1 = self.make_pair(timeout=10.0)
+
+        def killer():
+            time.sleep(0.1)
+            world.mark_failed(1, RuntimeError("boom"))
+
+        t = threading.Thread(target=killer)
+        t.start()
+        start = time.monotonic()
+        with pytest.raises(RankFailedError) as err:
+            r0.send(1, np.ones(2), sync=True)
+        t.join()
+        assert time.monotonic() - start < 5.0   # nowhere near timeout
+        assert err.value.rank == 1
+
+    def test_stats_record_kinds_and_async_fraction(self):
+        world, r0, r1 = self.make_pair()
+        import threading
+        t = threading.Thread(target=lambda: (time.sleep(0.05),
+                                             r1.recv(0)))
+        t.start()
+        r0.send(1, np.ones(2), sync=True)
+        t.join()
+        r0.isend(1, np.ones(2))
+        r0.send(1, np.ones(2))
+        r1.recv(0); r1.recv(0)
+        assert world.stats.kinds == ["sync", "async", "async"]
+        assert world.stats.async_fraction() == pytest.approx(2 / 3)
+
+    def test_empty_stats_async_fraction_is_zero(self):
+        from repro.backends.distributed import CommStats
+        assert CommStats().async_fraction() == 0.0

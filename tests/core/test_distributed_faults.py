@@ -225,3 +225,74 @@ class TestMessageFaults:
                 res = run_halo(kernel, ranks=2)
             outs.append(np.concatenate([r["out"] for r in res]))
         assert outs[0].tobytes() != outs[1].tobytes()
+
+
+class TestBarrierDeadlockDiagnosis:
+    """Regression: a barrier broken by *timeout* with an empty failure
+    ledger used to raise the generic "barrier broken" ExecutionError
+    even when the peers were provably deadlocked in recv.  A barrier
+    waiter is never in the wait-for table, so the recv-side detector's
+    "every live rank blocked in recv" precondition could not hold; the
+    barrier path now probes the remaining receivers itself."""
+
+    def test_barrier_timeout_names_the_recv_cycle(self):
+        import threading
+
+        from repro.backends.distributed import MPIRuntime, World
+        world = World(3)
+        r0 = MPIRuntime(0, world, timeout=0.6)
+        r1 = MPIRuntime(1, world, timeout=4.0)
+        r2 = MPIRuntime(2, world, timeout=4.0)
+        side_errors = []
+
+        def blocked_recv(rt, source):
+            try:
+                rt.recv(source)
+            except Exception as exc:   # noqa: BLE001 - recorded, not hidden
+                side_errors.append(exc)
+
+        threads = [threading.Thread(target=blocked_recv, args=(r1, 2)),
+                   threading.Thread(target=blocked_recv, args=(r2, 1))]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)   # let both receivers register as waiting
+        start = time.monotonic()
+        with pytest.raises(DeadlockError) as err:
+            r0.barrier()
+        assert time.monotonic() - start < 3.0
+        assert set(err.value.cycle) == {1, 2}
+        msg = str(err.value)
+        assert "barrier broken" in msg
+        assert "wait-for cycle" in msg
+        # Unblock the side threads (their own receives still time out).
+        world.mark_failed(0, RuntimeError("test torn down"))
+        for t in threads:
+            t.join()
+        assert len(side_errors) == 2
+
+    def test_plain_barrier_timeout_still_generic(self):
+        from repro.backends.distributed import MPIRuntime, World
+        world = World(2)
+        r0 = MPIRuntime(0, world, timeout=0.3)
+        # Rank 1 simply never arrives and is not blocked on anyone:
+        # no cycle to report, so the generic timeout error stands.
+        with pytest.raises(ExecutionError) as err:
+            r0.barrier()
+        assert not isinstance(err.value, DeadlockError)
+        assert "barrier broken" in str(err.value)
+
+    def test_pending_payload_breaks_the_cycle(self):
+        from repro.backends.distributed import MPIRuntime, World
+        world = World(3)
+        r0 = MPIRuntime(0, world, timeout=0.4)
+        r2 = MPIRuntime(2, world, timeout=3.0)
+        # rank 2's message to rank 1 is already on the wire: the
+        # apparent 1 -> 2 -> 1 wait loop is *not* a deadlock, rank 1
+        # is just slow to drain its channel.
+        r2.isend(1, np.ones(2))
+        world.note_waiting(1, 2)
+        world.note_waiting(2, 1)
+        assert world.recv_cycle() is None
+        with pytest.raises(ExecutionError) as err:
+            r0.barrier()
+        assert not isinstance(err.value, DeadlockError)
